@@ -1,0 +1,29 @@
+"""E2 — §4.2 ablation: the H-SBP serial fraction (paper fixes 15%).
+
+Sweeps the V* fraction from 0 (pure A-SBP) to 0.5, reporting the
+quality/runtime tradeoff the paper's 15% choice sits on: more serial
+processing improves convergence robustness at the cost of MCMC time.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_table, write_report
+from repro.bench.experiments import hybrid_fraction_ablation_rows
+
+
+def test_hybrid_fraction_ablation(benchmark):
+    rows = run_once(benchmark, hybrid_fraction_ablation_rows, seed=0, graph_id="S2")
+    report = format_table(
+        rows,
+        title="H-SBP V* fraction ablation on S2 (0 = pure A-SBP)",
+    )
+    write_report("ablation_hybrid_fraction", report)
+
+    assert [r["vstar_fraction"] for r in rows] == [0.0, 0.05, 0.15, 0.30, 0.50]
+    # Runtime grows with the serial fraction (Amdahl): the largest
+    # fraction must cost more MCMC time than the pure-async end.
+    assert rows[-1]["mcmc_s"] > rows[0]["mcmc_s"]
+    # The paper's 15% setting achieves good quality on this graph.
+    mid = next(r for r in rows if r["vstar_fraction"] == 0.15)
+    assert mid["NMI"] > 0.6

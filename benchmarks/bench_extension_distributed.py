@@ -1,0 +1,60 @@
+"""EXT — §6 future work: distributed A-SBP scaling (beyond the paper).
+
+The paper's conclusion asks how to distribute A-SBP/H-SBP across nodes.
+This extension bench runs the prototype distribution (replicated
+blockmodel, owned-vertex evaluation, one allgather per sweep) on the
+simulated cluster and reports, per rank count:
+
+* modeled makespan (compute + collectives under the network model),
+* communication volume and partition quality (edge cut, imbalance),
+* the invariant that the result is bit-identical to 1-rank A-SBP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro import generate_real_world_standin
+from repro.bench.reporting import format_table, write_report
+from repro.distributed.dsbp import model_distributed_scaling
+
+RANKS = [1, 2, 4, 8, 16, 32]
+
+
+def distributed_rows(seed: int = 0):
+    graph = generate_real_world_standin("soc-Slashdot0902", seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    # a mid-inference state: a few dozen blocks, as after early merges
+    assignment = rng.integers(0, 24, graph.num_vertices)
+    return model_distributed_scaling(
+        graph,
+        assignment,
+        rank_counts=RANKS,
+        sweeps=3,
+        strategy="degree_balanced",
+        seconds_per_unit=2e-6,
+        rebuild_seconds=2e-4,
+        seed=seed,
+    )
+
+
+def test_distributed_scaling(benchmark):
+    rows = run_once(benchmark, distributed_rows, seed=0)
+    report = format_table(
+        rows,
+        title="Extension: distributed A-SBP on the simulated cluster "
+              "(soc-Slashdot0902 stand-in)",
+    )
+    write_report("extension_distributed", report)
+
+    # Determinism invariant: ranks never change the chain.
+    assert all(r["result_matches_1rank"] for r in rows)
+    # Makespan improves from 1 rank and eventually saturates on
+    # collectives + rebuild (distributed Amdahl).
+    makespans = [r["makespan_s"] for r in rows]
+    assert makespans[1] < makespans[0]
+    assert min(makespans) == makespans[-1] or makespans[-1] <= makespans[2]
+    # Finer partitions cut more edges.
+    cuts = [r["edge_cut"] for r in rows]
+    assert all(b >= a for a, b in zip(cuts, cuts[1:]))

@@ -1,0 +1,32 @@
+"""F2 — Fig. 2: SBP execution-time breakdown on synthetic graphs.
+
+The paper's motivation figure: the serial MCMC phase takes up to ~98% of
+SBP runtime, which is why parallelizing it matters. We print the same
+per-graph percentage split of serial-SBP wall-clock between the MCMC
+phase and (block merge + other).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import current_scale
+from repro.bench.reporting import format_table, write_report
+from repro.bench.experiments import fig2_breakdown_rows
+
+
+def test_fig2_breakdown(benchmark):
+    scale = current_scale()
+    rows = run_once(benchmark, fig2_breakdown_rows, scale, seed=0)
+    report = format_table(
+        rows,
+        title="Fig. 2: percent of SBP execution time in the MCMC phase",
+    )
+    write_report("fig2_breakdown", report)
+
+    # Paper shape: the MCMC phase dominates on the clear majority of
+    # graphs (up to 98% there; the merge phase is relatively heavier at
+    # our scale, so the bar is lower but the dominance must hold).
+    dominated = sum(1 for r in rows if r["mcmc_pct"] > 50.0)
+    assert dominated >= 0.7 * len(rows), [
+        (r["graph"], round(r["mcmc_pct"], 1)) for r in rows
+    ]

@@ -1,0 +1,36 @@
+"""F4a — Fig. 4a: NMI of SBP / H-SBP / A-SBP on the synthetic corpus.
+
+Paper shape: H-SBP matches SBP's NMI on every graph where SBP converges;
+A-SBP matches on only about half and fails to converge on the rest
+(especially sparse, low-r graphs).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import current_scale
+from repro.bench.reporting import format_grouped_bars, format_table, write_report
+from repro.bench.experiments import fig4a_nmi_rows
+
+
+def test_fig4a_nmi(benchmark):
+    scale = current_scale()
+    rows = run_once(benchmark, fig4a_nmi_rows, scale, seed=0)
+    report = format_table(
+        rows, title="Fig. 4a: NMI on synthetic graphs (best-of-N runs)"
+    ) + "\n" + format_grouped_bars(
+        rows, "graph", ["NMI_sbp", "NMI_h-sbp", "NMI_a-sbp"],
+        title="Fig. 4a (bars, common scale 0..1)", vmax=1.0,
+    )
+    write_report("fig4a_nmi", report)
+
+    # H-SBP tracks SBP within a tolerance wherever SBP finds structure.
+    converged = [r for r in rows if r["NMI_sbp"] > 0.3]
+    assert converged, "SBP should converge on part of the corpus"
+    close = sum(
+        1 for r in converged if r["NMI_h-sbp"] >= r["NMI_sbp"] - 0.2
+    )
+    assert close >= 0.75 * len(converged), [
+        (r["graph"], round(r["NMI_sbp"], 2), round(r["NMI_h-sbp"], 2))
+        for r in converged
+    ]

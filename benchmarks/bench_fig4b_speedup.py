@@ -1,0 +1,37 @@
+"""F4b — Fig. 4b: MCMC-phase speedup on the synthetic corpus.
+
+Paper shape: A-SBP speeds up the MCMC phase on every graph (1.7-7.6x on
+the authors' 128-core node); H-SBP lands between SBP and A-SBP (up to
+~2.7x). Our single-core analogue executes the asynchronous sweeps with
+the vectorized batch engine, so the measured ratios are real wall-clock
+but reflect batching rather than threading (DESIGN.md §4).
+Also reports the overall (Amdahl) speedups of §5.2.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import current_scale
+from repro.bench.reporting import format_table, write_report
+from repro.bench.experiments import fig4b_speedup_rows
+
+
+def test_fig4b_speedup(benchmark):
+    scale = current_scale()
+    rows = run_once(benchmark, fig4b_speedup_rows, scale, seed=0)
+    report = format_table(
+        rows,
+        title="Fig. 4b: MCMC-phase and overall speedup over SBP (synthetic)",
+    )
+    write_report("fig4b_speedup", report)
+
+    # Paper shape: A-SBP accelerates the MCMC phase everywhere; H-SBP
+    # sits between SBP and A-SBP on the clear majority of graphs.
+    asbp_wins = sum(1 for r in rows if r["ASBP_mcmc_speedup"] > 1.0)
+    assert asbp_wins == len(rows), rows
+    ordered = sum(
+        1
+        for r in rows
+        if r["ASBP_mcmc_speedup"] >= r["HSBP_mcmc_speedup"] > 1.0
+    )
+    assert ordered >= 0.7 * len(rows), rows

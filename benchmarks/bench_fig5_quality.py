@@ -1,0 +1,36 @@
+"""F5 — Figs. 5a/5b: H-SBP vs SBP quality on real-world graphs.
+
+Paper shape: H-SBP matches SBP on all graphs in both normalized MDL and
+modularity; p2p-Gnutella31 has no community structure (MDL_norm >= ~1
+for both algorithms).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import current_scale
+from repro.bench.reporting import format_grouped_bars, format_table, write_report
+from repro.bench.experiments import fig5_quality_rows
+
+
+def test_fig5_quality(benchmark):
+    scale = current_scale()
+    rows = run_once(benchmark, fig5_quality_rows, scale, seed=0)
+    report = format_table(
+        rows,
+        title="Figs. 5a/5b: normalized MDL and modularity on real-world graphs",
+    ) + "\n" + format_grouped_bars(
+        rows, "graph", ["MDLnorm_sbp", "MDLnorm_h-sbp"],
+        title="Fig. 5a (bars, common scale 0..1)", vmax=1.0,
+    )
+    write_report("fig5_quality", report)
+
+    # H-SBP matches SBP's normalized MDL within a small tolerance.
+    for row in rows:
+        assert row["MDLnorm_h-sbp"] <= row["MDLnorm_sbp"] + 0.03, row
+
+    # p2p-Gnutella31: no structure found by either algorithm.
+    p2p = [r for r in rows if r["graph"] == "p2p-Gnutella31"]
+    if p2p:
+        assert p2p[0]["MDLnorm_sbp"] >= 0.98
+        assert p2p[0]["MDLnorm_h-sbp"] >= 0.98

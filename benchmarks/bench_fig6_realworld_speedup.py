@@ -1,0 +1,29 @@
+"""F6 — Fig. 6: H-SBP MCMC-phase speedup on real-world graphs.
+
+Paper shape: H-SBP speeds up the MCMC phase on all but one real-world
+graph (up to 5.6x on web-BerkStan); barth5 — very sparse with an
+exceptional iteration-count increase — is the one slowdown. Overall
+(Amdahl) speedups of §5.4 are reported alongside.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import current_scale
+from repro.bench.reporting import format_table, write_report
+from repro.bench.experiments import fig6_speedup_rows
+
+
+def test_fig6_realworld_speedup(benchmark):
+    scale = current_scale()
+    rows = run_once(benchmark, fig6_speedup_rows, scale, seed=0)
+    report = format_table(
+        rows,
+        title="Fig. 6: H-SBP speedup over SBP on real-world graphs",
+    )
+    write_report("fig6_realworld_speedup", report)
+
+    # H-SBP accelerates the MCMC phase on (nearly) all graphs.
+    wins = sum(1 for r in rows if r["HSBP_mcmc_speedup"] > 1.0)
+    assert wins >= len(rows) - 1, rows
+    assert max(r["HSBP_mcmc_speedup"] for r in rows) > 2.0

@@ -1,0 +1,41 @@
+"""F8 — Figs. 8a/8b: MCMC iteration counts per algorithm.
+
+Paper shape: on synthetic graphs A-SBP and H-SBP need significantly more
+MCMC sweeps to converge than SBP (asynchronous staleness slows mixing);
+on real-world graphs the gap between H-SBP and SBP is much smaller
+(barth5 being the outlier).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import current_scale
+from repro.bench.reporting import format_table, write_report
+from repro.bench.experiments import fig8_iteration_rows
+
+
+def test_fig8a_synthetic_iterations(benchmark):
+    scale = current_scale()
+    rows = run_once(benchmark, fig8_iteration_rows, scale, seed=0, real_world=False)
+    report = format_table(
+        rows, title="Fig. 8a: MCMC sweeps to convergence (synthetic)"
+    )
+    write_report("fig8a_iterations_synthetic", report)
+
+    # Asynchronous variants need at least as many sweeps on most graphs.
+    more = sum(1 for r in rows if r["sweeps_a-sbp"] >= r["sweeps_sbp"])
+    assert more >= 0.7 * len(rows), rows
+
+
+def test_fig8b_realworld_iterations(benchmark):
+    scale = current_scale()
+    rows = run_once(benchmark, fig8_iteration_rows, scale, seed=0, real_world=True)
+    report = format_table(
+        rows, title="Fig. 8b: MCMC sweeps to convergence (real-world)"
+    )
+    write_report("fig8b_iterations_realworld", report)
+
+    # The H-SBP/SBP sweep ratio stays moderate on most real-world graphs.
+    ratios = [r["sweeps_h-sbp"] / max(r["sweeps_sbp"], 1) for r in rows]
+    moderate = sum(1 for x in ratios if x < 2.5)
+    assert moderate >= 0.7 * len(rows), list(zip([r["graph"] for r in rows], ratios))

@@ -1,0 +1,32 @@
+"""T1 — Table 1: the synthetic corpus (scaled DCSBM graphs S1-S24).
+
+Regenerates the corpus and prints its V/E/r table in the paper's layout.
+The absolute scale is reduced (DESIGN.md §4 substitution 3); the grouping
+into three r-families with sparse/dense and four degree variants each is
+preserved.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_table, write_report
+from repro.bench.experiments import table1_rows
+
+
+def test_table1_corpus(benchmark):
+    rows = run_once(benchmark, table1_rows, seed=0)
+    report = format_table(
+        rows,
+        columns=["ID", "V", "E", "r", "dense", "communities", "mean_degree",
+                 "plaw_exponent"],
+        title="Table 1 (scaled): synthetically generated graphs",
+    )
+    write_report("table1_corpus", report)
+
+    assert len(rows) == 24
+    # density split: dense graphs must have much higher E/V
+    sparse = [r for r in rows if not r["dense"]]
+    dense = [r for r in rows if r["dense"]]
+    assert min(d["E"] / d["V"] for d in dense) > 2 * max(
+        s["E"] / s["V"] for s in sparse
+    )

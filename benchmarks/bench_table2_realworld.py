@@ -1,0 +1,26 @@
+"""T2 — Table 2: real-world graphs and their synthetic stand-ins.
+
+Prints the original SuiteSparse V/E next to the generated stand-in's,
+showing the preserved density (E/V, capped at 20) per graph.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_table, write_report
+from repro.bench.experiments import table2_rows
+
+
+def test_table2_realworld(benchmark):
+    rows = run_once(benchmark, table2_rows, seed=0)
+    report = format_table(
+        rows,
+        title="Table 2: real-world graphs -> DCSBM stand-ins",
+    )
+    write_report("table2_realworld", report)
+
+    assert len(rows) == 14
+    for row in rows:
+        cap = min(row["paper_E/V"], 20.0)
+        # stand-in density within 25% of the (capped) original
+        assert abs(row["standin_E/V"] - cap) / cap < 0.25, row["ID"]

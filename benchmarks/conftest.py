@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``. Scale is controlled by
+``REPRO_BENCH_SCALE`` (smoke|paper, default smoke — see
+repro.bench.harness). Result tables are printed and archived under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    """Anchor the results directory next to this file, not the CWD."""
+    results = Path(__file__).parent / "results"
+    os.environ.setdefault("REPRO_RESULTS_DIR", str(results))
+    return results
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

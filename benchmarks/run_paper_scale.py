@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Resumable paper-scale experiment runner.
+
+Runs the full evaluation protocol (all corpus graphs / all real-world
+stand-ins, best-of-N) graph by graph, appending one JSON line per
+(graph, variant) to the output file. Re-running skips completed graphs,
+so long campaigns can be chunked across invocations.
+
+Usage:
+    python benchmarks/run_paper_scale.py --suite synthetic --runs 3
+    python benchmarks/run_paper_scale.py --suite realworld --runs 3
+    python benchmarks/run_paper_scale.py --suite synthetic --report
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.harness import run_variant_suite
+from repro.bench.reporting import format_table
+from repro.core.variants import Variant
+from repro.generators.corpus import corpus_ids, generate_synthetic
+from repro.generators.realworld import generate_real_world_standin, real_world_ids
+from repro.metrics.nmi import normalized_mutual_information
+
+RESULTS_DIR = Path(__file__).parent / "results" / "paper"
+
+
+def _completed(path: Path) -> set[str]:
+    done: set[str] = set()
+    if path.exists():
+        for line in path.read_text().splitlines():
+            if line.strip():
+                done.add(json.loads(line)["graph"])
+    return done
+
+
+def run_suite(suite: str, runs: int, seed: int) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{suite}.jsonl"
+    done = _completed(path)
+
+    if suite == "synthetic":
+        ids = corpus_ids(include_redacted=True)
+        variants = [Variant.SBP, Variant.ASBP, Variant.HSBP]
+    else:
+        ids = real_world_ids()
+        variants = [Variant.SBP, Variant.HSBP]
+
+    pending = [g for g in ids if g not in done]
+    print(f"{suite}: {len(done)} done, {len(pending)} pending", flush=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        for gid in pending:
+            start = time.perf_counter()
+            if suite == "synthetic":
+                graph, truth = generate_synthetic(gid, seed=seed)
+            else:
+                graph = generate_real_world_standin(gid, seed=seed)
+                truth = None
+            suite_result = run_variant_suite(
+                gid, graph, variants, runs=runs,
+                seed=seed + (17 if suite == "synthetic" else 29),
+            )
+            record: dict[str, object] = {
+                "graph": gid,
+                "V": graph.num_vertices,
+                "E": graph.num_edges,
+                "runs": runs,
+            }
+            for name, vrun in suite_result.items():
+                entry = {
+                    "blocks": vrun.best.num_blocks,
+                    "mdl_norm": vrun.best.normalized_mdl,
+                    "mcmc_s": vrun.total_mcmc_seconds,
+                    "total_s": vrun.total_seconds,
+                    "sweeps": vrun.total_sweeps,
+                }
+                if truth is not None:
+                    entry["nmi"] = normalized_mutual_information(
+                        truth, vrun.best.assignment
+                    )
+                record[name] = entry
+            fh.write(json.dumps(record) + "\n")
+            fh.flush()
+            print(f"  {gid}: {time.perf_counter() - start:.0f}s", flush=True)
+    print("suite complete" if len(pending) + len(done) == len(ids) else "chunk done")
+
+
+def report(suite: str) -> None:
+    path = RESULTS_DIR / f"{suite}.jsonl"
+    if not path.exists():
+        print(f"no results at {path}", file=sys.stderr)
+        raise SystemExit(1)
+    rows = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        row: dict[str, object] = {"graph": rec["graph"], "V": rec["V"], "E": rec["E"]}
+        for name in ("sbp", "a-sbp", "h-sbp"):
+            if name in rec:
+                entry = rec[name]
+                if "nmi" in entry:
+                    row[f"NMI_{name}"] = entry["nmi"]
+                row[f"MDLn_{name}"] = entry["mdl_norm"]
+                row[f"sweeps_{name}"] = entry["sweeps"]
+                if name != "sbp" and "sbp" in rec:
+                    row[f"speedup_{name}"] = (
+                        rec["sbp"]["mcmc_s"] / max(entry["mcmc_s"], 1e-12)
+                    )
+        rows.append(row)
+    print(format_table(rows, title=f"paper-scale {suite} results"))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=["synthetic", "realworld"], required=True)
+    parser.add_argument("--runs", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--report", action="store_true",
+                        help="print the table from existing results and exit")
+    args = parser.parse_args()
+    if args.report:
+        report(args.suite)
+    else:
+        run_suite(args.suite, args.runs, args.seed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Distributed A-SBP prototype on the simulated cluster (paper §6).
+
+Walks through the distribution design the paper leaves as future work:
+
+1. partition a graph's vertices over ranks (three strategies, with
+   edge-cut / balance diagnostics),
+2. run asynchronous-Gibbs sweeps where each rank evaluates only its
+   owned vertices against a replicated blockmodel,
+3. verify the result is bit-identical to the single-node run (the
+   asynchronous-Gibbs staleness tolerance is what makes that legal), and
+4. read the modeled cost: per-rank compute, allgather time, makespan.
+
+Run:  python examples/distributed_prototype.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Blockmodel, generate_real_world_standin
+from repro.distributed import (
+    DistributedGraph,
+    SimCommWorld,
+    distributed_async_sweep,
+    model_distributed_scaling,
+    partition_vertices,
+)
+from repro.distributed.partition import partition_stats
+from repro.mcmc.async_gibbs import async_gibbs_sweep
+from repro.parallel.vectorized import VectorizedBackend
+from repro.utils.rng import SweepRandomness
+
+
+def partitioning_tour(graph) -> None:
+    print("=== partitioning strategies (8 ranks) ===")
+    print(f"{'strategy':>16s} {'edge cut':>9s} {'degree imbalance':>16s} "
+          f"{'ghosts':>7s}")
+    for strategy in ("contiguous", "hash", "degree_balanced"):
+        owner = partition_vertices(graph, 8, strategy)
+        stats = partition_stats(graph, owner, strategy)
+        dgraph = DistributedGraph(graph, owner)
+        print(f"{strategy:>16s} {stats.edge_cut_fraction:8.1%} "
+              f"{stats.degree_imbalance:16.3f} {dgraph.total_ghosts:7d}")
+    print()
+
+
+def equivalence_demo(graph) -> None:
+    print("=== distributed == single-node (the correctness invariant) ===")
+    rng = np.random.default_rng(3)
+    assignment = rng.integers(0, 16, graph.num_vertices)
+    rand = SweepRandomness.draw(7, 11, 0, graph.num_vertices)
+
+    single = Blockmodel.from_assignment(graph, assignment, 16)
+    async_gibbs_sweep(single, graph,
+                      np.arange(graph.num_vertices, dtype=np.int64),
+                      rand, 3.0, VectorizedBackend())
+
+    dist = Blockmodel.from_assignment(graph, assignment, 16)
+    owner = partition_vertices(graph, 8, "degree_balanced")
+    world = SimCommWorld(8)
+    report = distributed_async_sweep(
+        dist, DistributedGraph(graph, owner), world, rand, 3.0,
+        VectorizedBackend(), seconds_per_unit=2e-6, rebuild_seconds=2e-4,
+    )
+    identical = np.array_equal(single.assignment, dist.assignment)
+    print(f"  8-rank sweep == 1-node sweep: {identical}")
+    print(f"  modeled makespan: {report.makespan_seconds * 1e3:.2f} ms, "
+          f"allgather volume: {report.communication_bytes} bytes\n")
+
+
+def scaling_demo(graph) -> None:
+    print("=== modeled scaling over rank counts ===")
+    rng = np.random.default_rng(5)
+    assignment = rng.integers(0, 24, graph.num_vertices)
+    rows = model_distributed_scaling(
+        graph, assignment, rank_counts=[1, 2, 4, 8, 16, 32], sweeps=3,
+        seconds_per_unit=2e-6, rebuild_seconds=2e-4,
+    )
+    print(f"{'ranks':>5s} {'makespan (ms)':>13s} {'edge cut':>9s} "
+          f"{'identical':>9s}")
+    for row in rows:
+        print(f"{row['ranks']:5d} {row['makespan_s'] * 1e3:13.2f} "
+              f"{row['edge_cut']:8.1%} "
+              f"{'yes' if row['result_matches_1rank'] else 'NO':>9s}")
+    print("\ncompute shrinks with ranks while the allgather + rebuild floor")
+    print("remains — the distributed analogue of the Fig. 7 taper.")
+
+
+def main() -> None:
+    graph = generate_real_world_standin("soc-Slashdot0902", seed=2)
+    print(f"graph: soc-Slashdot0902 stand-in, V={graph.num_vertices} "
+          f"E={graph.num_edges}\n")
+    partitioning_tour(graph)
+    equivalence_demo(graph)
+    scaling_demo(graph)
+
+
+if __name__ == "__main__":
+    main()

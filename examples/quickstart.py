@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: detect communities in a synthetic graph with all three
+SBP variants and compare their accuracy and MCMC runtime.
+
+This is the 60-second tour of the library:
+
+1. generate a directed graph with planted communities (DCSBM),
+2. run classic SBP (serial Metropolis-Hastings), A-SBP (asynchronous
+   Gibbs) and H-SBP (the paper's hybrid), and
+3. score each result against the planted ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DCSBMParams,
+    SBPConfig,
+    Variant,
+    generate_dcsbm,
+    normalized_mutual_information,
+    run_sbp,
+)
+
+
+def main() -> None:
+    # A directed multigraph with 4 planted communities: power-law
+    # degrees, ~8 edges per vertex, and 8x more within- than
+    # between-community edge rate.
+    graph, truth = generate_dcsbm(
+        DCSBMParams(
+            num_vertices=200,
+            num_communities=4,
+            within_between_ratio=8.0,
+            mean_degree=8.0,
+            degree_exponent=2.5,
+            d_max=24,
+        ),
+        seed=42,
+    )
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges, "
+          f"4 planted communities\n")
+
+    print(f"{'algorithm':8s} {'blocks':>6s} {'NMI':>6s} {'MDL_norm':>9s} "
+          f"{'MCMC s':>7s} {'sweeps':>6s}")
+    for variant in (Variant.SBP, Variant.ASBP, Variant.HSBP):
+        result = run_sbp(graph, SBPConfig(variant=variant, seed=7))
+        nmi = normalized_mutual_information(truth, result.assignment)
+        print(
+            f"{variant.value:8s} {result.num_blocks:6d} {nmi:6.3f} "
+            f"{result.normalized_mdl:9.3f} {result.mcmc_seconds:7.2f} "
+            f"{result.mcmc_sweeps:6d}"
+        )
+
+    print(
+        "\nExpected shape (the paper's headline): all variants find the "
+        "planted\nstructure; A-SBP and H-SBP finish the MCMC phase much "
+        "faster than SBP\nbecause the asynchronous sweeps evaluate all "
+        "vertices against a frozen\nblockmodel and can therefore be "
+        "executed in parallel (here: batched)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Community detection on an unlabeled "social network" (Table 2 style).
+
+Real-world graphs have no ground truth, so this example mirrors the
+paper's real-world protocol (§4.2):
+
+* analyse a social-media-like graph (the soc-Slashdot0902 stand-in),
+* run SBP and H-SBP five times each and keep the lowest-MDL result,
+* judge quality by normalized MDL and directed modularity,
+* report the MCMC-phase speedup of the hybrid algorithm,
+* inspect the detected communities (sizes, internal edge fractions).
+
+Run:  python examples/social_network_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Blockmodel,
+    SBPConfig,
+    Variant,
+    directed_modularity,
+    generate_real_world_standin,
+    run_best_of,
+)
+
+
+def describe_communities(graph, assignment) -> None:
+    bm = Blockmodel.from_assignment(graph, assignment)
+    bm.compact()
+    sizes = bm.block_sizes()
+    internal = np.diag(bm.B)
+    print(f"  {'community':>9s} {'size':>5s} {'internal edges':>14s} "
+          f"{'internal %':>10s}")
+    order = np.argsort(-sizes)
+    for c in order[:8]:
+        total = bm.d_out[c]
+        pct = 100.0 * internal[c] / total if total else 0.0
+        print(f"  {c:9d} {sizes[c]:5d} {internal[c]:14d} {pct:9.1f}%")
+    if len(order) > 8:
+        print(f"  ... and {len(order) - 8} more")
+
+
+def main() -> None:
+    graph = generate_real_world_standin("soc-Slashdot0902", seed=1)
+    print(f"soc-Slashdot0902 stand-in: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges (original: 82168 / 948464)\n")
+
+    runs = 5  # the paper's best-of-5 protocol
+    outcomes = {}
+    for variant in (Variant.SBP, Variant.HSBP):
+        best, all_results = run_best_of(
+            graph, SBPConfig(variant=variant, seed=3), runs=runs
+        )
+        total_mcmc = sum(r.mcmc_seconds for r in all_results)
+        outcomes[variant] = (best, total_mcmc)
+        print(f"{variant.value}: best of {runs} runs")
+        print(f"  communities:     {best.num_blocks}")
+        print(f"  normalized MDL:  {best.normalized_mdl:.4f}  (< 1 means "
+              f"structure beats the null model)")
+        print(f"  modularity:      "
+              f"{directed_modularity(graph, best.assignment):.4f}")
+        print(f"  MCMC time (sum): {total_mcmc:.2f}s over "
+              f"{sum(r.mcmc_sweeps for r in all_results)} sweeps")
+        describe_communities(graph, best.assignment)
+        print()
+
+    sbp_best, sbp_time = outcomes[Variant.SBP]
+    hsbp_best, hsbp_time = outcomes[Variant.HSBP]
+    print(f"H-SBP MCMC speedup over SBP: {sbp_time / hsbp_time:.2f}x")
+    print(f"quality gap (normalized MDL): "
+          f"{hsbp_best.normalized_mdl - sbp_best.normalized_mdl:+.4f} "
+          f"(the paper finds H-SBP matches SBP)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Strong-scaling what-if analysis with the thread-execution model.
+
+Reproduces the paper's Fig. 7 methodology interactively: run H-SBP once
+with per-sweep work recording, calibrate the thread model against the
+measured wall-clock, then ask "what if this ran on a 128-core node?" —
+including the load-balancing ablation (OpenMP-static vs LPT-balanced
+scheduling) the paper leaves as future work.
+
+Run:  python examples/strong_scaling_model.py
+"""
+
+from __future__ import annotations
+
+from repro import SBPConfig, Variant, generate_real_world_standin, run_sbp
+from repro.parallel.simulate import SimulatedThreadModel
+
+THREADS = [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def main() -> None:
+    graph = generate_real_world_standin("soc-Slashdot0902", seed=0)
+    print(f"soc-Slashdot0902 stand-in: V={graph.num_vertices} "
+          f"E={graph.num_edges}")
+    print("running H-SBP once with work recording...")
+
+    result = run_sbp(
+        graph, SBPConfig(variant=Variant.HSBP, seed=9, record_work=True)
+    )
+    print(f"measured: mcmc={result.timings.mcmc:.2f}s "
+          f"rebuild={result.timings.rebuild:.2f}s "
+          f"sweeps={result.mcmc_sweeps}\n")
+
+    curves = {}
+    for schedule in ("static", "balanced"):
+        model = SimulatedThreadModel.calibrated(
+            result.sweep_stats,
+            measured_mcmc_seconds=result.timings.mcmc,
+            measured_rebuild_seconds=result.timings.rebuild,
+            schedule=schedule,
+            rebuild_parallel_fraction=0.5,
+        )
+        curves[schedule] = model.scaling_curve(THREADS)
+
+    print(f"{'threads':>7s} {'static (s)':>11s} {'balanced (s)':>13s} "
+          f"{'static speedup':>14s}")
+    base = curves["static"][1]
+    for p in THREADS:
+        print(f"{p:7d} {curves['static'][p]:11.3f} "
+              f"{curves['balanced'][p]:13.3f} {base / curves['static'][p]:13.2f}x")
+
+    print(
+        "\nReading the curve: the serial V* pass and the rebuild barrier "
+        "bound the\nspeedup (Amdahl), and static chunking of power-law "
+        "degree work adds\nimbalance — so gains taper around 8-16 threads, "
+        "exactly the paper's Fig. 7\nobservation. Balanced (LPT) "
+        "scheduling recovers part of the imbalance loss."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Experiment harness: drives every table/figure reproduction.
+
+Each ``benchmarks/bench_*.py`` target is a thin wrapper over an
+experiment function in :mod:`repro.bench.experiments`; shared machinery
+(variant suites, speedup tables, ASCII rendering) lives here so the
+experiments stay declarative.
+"""
+
+from repro.bench.harness import (
+    BenchScale,
+    current_scale,
+    VariantRun,
+    run_variant_suite,
+    speedup_rows,
+)
+from repro.bench.reporting import format_table, format_series, write_report
+
+__all__ = [
+    "BenchScale",
+    "current_scale",
+    "VariantRun",
+    "run_variant_suite",
+    "speedup_rows",
+    "format_table",
+    "format_series",
+    "write_report",
+]

@@ -1,0 +1,168 @@
+"""Shared experiment machinery: variant suites, best-of-N, speedups.
+
+The paper's protocol (§4.2): each (graph, algorithm) pair is run 5 times,
+the lowest-MDL result is kept for quality metrics, and MCMC/total time is
+summed across all runs for the speedup figures. ``run_variant_suite``
+implements exactly that and returns flat row dicts the reporting layer
+renders.
+
+Bench scale: pure-Python MCMC is slow, so the bench targets support two
+scales selected by the ``REPRO_BENCH_SCALE`` environment variable —
+``smoke`` (default: subset of graphs, 1 run each; minutes) and ``paper``
+(full corpus, 3 runs; closer to an hour). Both preserve the evaluation's
+qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.results import SBPResult, best_of
+from repro.core.sbp import run_sbp
+from repro.core.variants import SBPConfig, Variant
+from repro.graph.graph import Graph
+from repro.metrics.mdl_metrics import partition_normalized_mdl
+from repro.metrics.modularity import directed_modularity
+from repro.metrics.nmi import normalized_mutual_information
+from repro.types import Assignment
+from repro.utils.rng import spawn_seeds
+
+__all__ = [
+    "BenchScale",
+    "current_scale",
+    "VariantRun",
+    "run_variant_suite",
+    "speedup_rows",
+]
+
+
+class BenchScale(str, Enum):
+    """Experiment size preset."""
+
+    SMOKE = "smoke"
+    PAPER = "paper"
+
+    @property
+    def runs(self) -> int:
+        """Best-of-N repetitions per (graph, variant)."""
+        return 1 if self is BenchScale.SMOKE else 3
+
+
+def current_scale() -> BenchScale:
+    """Scale selected by ``REPRO_BENCH_SCALE`` (default smoke)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "smoke").lower()
+    try:
+        return BenchScale(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be 'smoke' or 'paper', got {raw!r}"
+        ) from exc
+
+
+@dataclass
+class VariantRun:
+    """Aggregated outcome of best-of-N runs of one variant on one graph."""
+
+    graph_id: str
+    variant: str
+    best: SBPResult
+    all_results: list[SBPResult]
+
+    @property
+    def total_mcmc_seconds(self) -> float:
+        """MCMC time summed over all runs (the paper's speedup numerator)."""
+        return sum(r.mcmc_seconds for r in self.all_results)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.total_seconds for r in self.all_results)
+
+    @property
+    def total_sweeps(self) -> int:
+        return sum(r.mcmc_sweeps for r in self.all_results)
+
+    def row(self, graph: Graph, truth: Assignment | None = None) -> dict[str, object]:
+        row: dict[str, object] = {
+            "graph": self.graph_id,
+            "algorithm": _display_name(self.variant),
+            "V": graph.num_vertices,
+            "E": graph.num_edges,
+            "blocks": self.best.num_blocks,
+            "MDL_norm": self.best.normalized_mdl,
+            "modularity": directed_modularity(graph, self.best.assignment),
+            "mcmc_s": self.total_mcmc_seconds,
+            "total_s": self.total_seconds,
+            "sweeps": self.total_sweeps,
+        }
+        if truth is not None:
+            row["NMI"] = normalized_mutual_information(truth, self.best.assignment)
+            row["truth_MDL_norm"] = partition_normalized_mdl(graph, truth)
+        return row
+
+
+def run_variant_suite(
+    graph_id: str,
+    graph: Graph,
+    variants: list[Variant | str],
+    runs: int = 1,
+    seed: int = 0,
+    config: SBPConfig | None = None,
+) -> dict[str, VariantRun]:
+    """Run each variant ``runs`` times on ``graph`` (best-of-N protocol).
+
+    All variants share the same derived seed sequence so their MCMC
+    phases are driven by comparable randomness.
+    """
+    if config is None:
+        config = SBPConfig()
+    seeds = spawn_seeds(seed, runs)
+    out: dict[str, VariantRun] = {}
+    for variant in variants:
+        variant = Variant(variant)
+        results = [
+            run_sbp(graph, config.replace(variant=variant, seed=s)) for s in seeds
+        ]
+        out[variant.value] = VariantRun(
+            graph_id=graph_id,
+            variant=variant.value,
+            best=best_of(results),
+            all_results=results,
+        )
+    return out
+
+
+def speedup_rows(
+    suites: dict[str, dict[str, VariantRun]],
+    baseline: str = "sbp",
+    metric: str = "mcmc",
+) -> list[dict[str, object]]:
+    """Per-graph speedup of each variant over the baseline.
+
+    ``metric`` is ``'mcmc'`` (MCMC-phase time, Figs. 4b/6) or ``'total'``
+    (overall runtime including the merge phase, the Amdahl numbers of
+    §5.2/§5.4).
+    """
+    rows: list[dict[str, object]] = []
+    for graph_id, suite in suites.items():
+        base = suite.get(baseline)
+        if base is None:
+            raise KeyError(f"suite for {graph_id!r} lacks baseline {baseline!r}")
+        base_time = (
+            base.total_mcmc_seconds if metric == "mcmc" else base.total_seconds
+        )
+        row: dict[str, object] = {"graph": graph_id}
+        for name, run in suite.items():
+            if name == baseline:
+                continue
+            time = run.total_mcmc_seconds if metric == "mcmc" else run.total_seconds
+            row[f"{_display_name(name)}_speedup"] = (
+                base_time / time if time > 0 else float("inf")
+            )
+        rows.append(row)
+    return rows
+
+
+def _display_name(variant: str) -> str:
+    return {"sbp": "SBP", "a-sbp": "A-SBP", "h-sbp": "H-SBP", "b-sbp": "B-SBP"}.get(variant, variant)

@@ -1,0 +1,132 @@
+"""Plain-text rendering of experiment tables and series.
+
+The paper reports its evaluation as tables and bar/line figures; the
+bench targets print the same rows/series as ASCII and archive them under
+``benchmarks/results/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Mapping
+
+__all__ = ["format_table", "format_series", "format_grouped_bars", "write_report"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.001):
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: list[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title or 'table'}: (no rows)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def format_series(
+    series: Mapping[object, float],
+    title: str | None = None,
+    bar_width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a key->value series as labeled ASCII bars (figure analogue)."""
+    if not series:
+        return f"{title or 'series'}: (empty)\n"
+    max_value = max(abs(v) for v in series.values()) or 1.0
+    key_width = max(len(str(k)) for k in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for key, value in series.items():
+        filled = int(round(bar_width * abs(value) / max_value))
+        bar = "#" * filled
+        lines.append(f"{str(key).ljust(key_width)}  {bar.ljust(bar_width)} {_fmt(value)}{unit}")
+    return "\n".join(lines) + "\n"
+
+
+def format_grouped_bars(
+    rows: Iterable[Mapping[str, object]],
+    group_key: str,
+    value_keys: list[str],
+    bar_width: int = 30,
+    title: str | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Render per-group bars for several series — the paper's figure style.
+
+    Each row becomes one group (e.g. a graph id) with one labeled bar per
+    series in ``value_keys`` (e.g. NMI of SBP / H-SBP / A-SBP), scaled to
+    a common maximum (``vmax`` or the observed one).
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title or 'figure'}: (no rows)\n"
+    observed = [
+        float(row[k])
+        for row in rows
+        for k in value_keys
+        if isinstance(row.get(k), (int, float)) and row[k] == row[k]
+    ]
+    scale = vmax if vmax is not None else (max(observed, default=1.0) or 1.0)
+    label_width = max(len(k) for k in value_keys)
+    lines = []
+    if title:
+        lines.append(title)
+    for row in rows:
+        lines.append(f"{row.get(group_key, '?')}")
+        for key in value_keys:
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value != value:
+                lines.append(f"  {key.ljust(label_width)} (n/a)")
+                continue
+            filled = int(round(bar_width * min(abs(float(value)) / scale, 1.0)))
+            lines.append(
+                f"  {key.ljust(label_width)} {('#' * filled).ljust(bar_width)} "
+                f"{_fmt(value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_report(name: str, text: str, directory: str | os.PathLike[str] | None = None) -> Path:
+    """Print ``text`` and archive it under the results directory.
+
+    The directory defaults to ``$REPRO_RESULTS_DIR`` or
+    ``benchmarks/results`` relative to the current working directory.
+    """
+    print(text)
+    if directory is None:
+        directory = os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    out = path / f"{name}.txt"
+    out.write_text(text, encoding="utf-8")
+    return out

@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``detect``    run SBP/A-SBP/H-SBP/B-SBP on a graph file, write communities
+``compare``   run several variants on one graph, print a comparison table
+``generate``  write a corpus graph / custom DCSBM / real-world stand-in
+``info``      print graph statistics
+
+Graph files are whitespace edge lists (``src dst`` per line, ``#``
+comments) or MatrixMarket ``.mtx``; format is chosen by extension.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.core.sbp import run_best_of
+from repro.core.variants import SBPConfig, Variant
+from repro.generators.corpus import SYNTHETIC_SPECS, generate_synthetic
+from repro.generators.dcsbm import DCSBMParams, generate_dcsbm
+from repro.generators.realworld import REAL_WORLD_SPECS, generate_real_world_standin
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+from repro.graph.properties import summarize
+from repro.metrics.modularity import directed_modularity
+from repro.metrics.nmi import normalized_mutual_information
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(path: str) -> Graph:
+    if path.endswith(".mtx"):
+        return read_matrix_market(path)
+    return read_edge_list(path)
+
+
+def _save_graph(graph: Graph, path: str) -> None:
+    if path.endswith(".mtx"):
+        write_matrix_market(graph, path)
+    else:
+        write_edge_list(graph, path)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stochastic block partitioning (SBP / A-SBP / H-SBP) "
+                    "— ICPP'22 reproduction CLI",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="log per-iteration progress to stderr")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    detect = sub.add_parser("detect", help="detect communities in a graph file")
+    detect.add_argument("graph", help="edge-list (.txt) or MatrixMarket (.mtx) file")
+    detect.add_argument("--variant", default="h-sbp",
+                        choices=[v.value for v in Variant])
+    detect.add_argument("--runs", type=int, default=1,
+                        help="best-of-N repetitions (paper uses 5)")
+    detect.add_argument("--seed", type=int, default=0)
+    detect.add_argument("--beta", type=float, default=3.0)
+    detect.add_argument("--vstar-fraction", type=float, default=0.15)
+    detect.add_argument("--backend", default="vectorized")
+    detect.add_argument("--output", help="write 'vertex community' lines here")
+    detect.add_argument("--json", action="store_true",
+                        help="print a JSON summary instead of text")
+
+    compare = sub.add_parser("compare", help="run variants side by side")
+    compare.add_argument("graph")
+    compare.add_argument("--variants", default="sbp,a-sbp,h-sbp",
+                         help="comma-separated variant list")
+    compare.add_argument("--runs", type=int, default=1)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--truth",
+                         help="optional 'vertex community' file for NMI scoring")
+
+    generate = sub.add_parser("generate", help="generate a synthetic graph")
+    source = generate.add_mutually_exclusive_group(required=True)
+    source.add_argument("--corpus", metavar="ID",
+                        help=f"corpus graph id (S1..S{len(SYNTHETIC_SPECS)})")
+    source.add_argument("--standin", metavar="NAME",
+                        help=f"real-world stand-in ({', '.join(list(REAL_WORLD_SPECS)[:3])}, ...)")
+    source.add_argument("--custom", action="store_true",
+                        help="custom DCSBM from the --vertices/... knobs")
+    generate.add_argument("--vertices", type=int, default=200)
+    generate.add_argument("--communities", type=int, default=4)
+    generate.add_argument("--ratio", type=float, default=5.0,
+                          help="within:between rate ratio r")
+    generate.add_argument("--mean-degree", type=float, default=6.0)
+    generate.add_argument("--exponent", type=float, default=2.5)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True,
+                          help=".txt edge list or .mtx MatrixMarket path")
+    generate.add_argument("--truth-output",
+                          help="write ground-truth communities here (if known)")
+
+    info = sub.add_parser("info", help="print graph statistics")
+    info.add_argument("graph")
+
+    return parser
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    config = SBPConfig(
+        variant=args.variant,
+        seed=args.seed,
+        beta=args.beta,
+        vstar_fraction=args.vstar_fraction,
+        backend=args.backend,
+    )
+    best, all_results = run_best_of(graph, config, runs=args.runs)
+    summary = {
+        "graph": args.graph,
+        "V": graph.num_vertices,
+        "E": graph.num_edges,
+        "variant": best.variant,
+        "runs": args.runs,
+        "communities": best.num_blocks,
+        "mdl": best.mdl,
+        "normalized_mdl": best.normalized_mdl,
+        "modularity": directed_modularity(graph, best.assignment),
+        "mcmc_seconds_total": sum(r.mcmc_seconds for r in all_results),
+        "sweeps_total": sum(r.mcmc_sweeps for r in all_results),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        for key, value in summary.items():
+            print(f"{key:20s} {value}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write("# vertex community\n")
+            for v, c in enumerate(best.assignment):
+                fh.write(f"{v} {c}\n")
+        print(f"wrote communities to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    truth = None
+    if args.truth:
+        pairs = np.loadtxt(args.truth, dtype=np.int64, comments="#")
+        truth = np.full(graph.num_vertices, -1, dtype=np.int64)
+        truth[pairs[:, 0]] = pairs[:, 1]
+    rows = []
+    for name in args.variants.split(","):
+        name = name.strip()
+        config = SBPConfig(variant=name, seed=args.seed)
+        best, all_results = run_best_of(graph, config, runs=args.runs)
+        row: dict[str, object] = {
+            "variant": name,
+            "blocks": best.num_blocks,
+            "MDL_norm": best.normalized_mdl,
+            "modularity": directed_modularity(graph, best.assignment),
+            "mcmc_s": sum(r.mcmc_seconds for r in all_results),
+            "sweeps": sum(r.mcmc_sweeps for r in all_results),
+        }
+        if truth is not None:
+            row["NMI"] = normalized_mutual_information(truth, best.assignment)
+        rows.append(row)
+    print(format_table(rows, title=f"{args.graph} (best of {args.runs})"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    truth = None
+    if args.corpus:
+        graph, truth = generate_synthetic(args.corpus, seed=args.seed)
+    elif args.standin:
+        graph = generate_real_world_standin(args.standin, seed=args.seed)
+    else:
+        graph, truth = generate_dcsbm(
+            DCSBMParams(
+                num_vertices=args.vertices,
+                num_communities=args.communities,
+                within_between_ratio=args.ratio,
+                mean_degree=args.mean_degree,
+                degree_exponent=args.exponent,
+            ),
+            seed=args.seed,
+        )
+    _save_graph(graph, args.output)
+    print(f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges "
+          f"to {args.output}")
+    if args.truth_output:
+        if truth is None:
+            print("no ground truth available for this source", file=sys.stderr)
+            return 2
+        with open(args.truth_output, "w", encoding="utf-8") as fh:
+            fh.write("# vertex community\n")
+            for v, c in enumerate(truth):
+                fh.write(f"{v} {c}\n")
+        print(f"wrote ground truth to {args.truth_output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    stats = summarize(graph)
+    for key, value in stats.as_row().items():
+        print(f"{key:16s} {value}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.verbose:
+        from repro.utils.log import configure_logging
+
+        configure_logging("INFO")
+    handlers = {
+        "detect": _cmd_detect,
+        "compare": _cmd_compare,
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+    }
+    from repro.errors import ReproError
+
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        return 0  # downstream pager/head closed the pipe
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""SBP drivers: agglomerative loop, block-merge phase, golden-section search."""
+
+from repro.core.variants import Variant, SBPConfig
+from repro.core.results import SBPResult, best_of
+from repro.core.merge import block_merge_phase
+from repro.core.partition_search import GoldenSectionSearch
+from repro.core.sbp import run_sbp, run_best_of, run_mcmc_phase
+
+__all__ = [
+    "Variant",
+    "SBPConfig",
+    "SBPResult",
+    "best_of",
+    "block_merge_phase",
+    "GoldenSectionSearch",
+    "run_sbp",
+    "run_best_of",
+    "run_mcmc_phase",
+]

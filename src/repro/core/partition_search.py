@@ -1,0 +1,133 @@
+"""Golden-section ("Fibonacci") search over the number of communities.
+
+SBP does not know the true number of communities C. The agglomerative
+loop halves C until the MDL stops improving, which brackets the optimum
+between a larger-C and a smaller-C partition; a golden-section search
+then narrows the bracket (paper Fig. 1, "Search for number of
+communities"; semantics follow the GraphChallenge baseline the paper
+builds on).
+
+The search keeps three anchor partitions: index 0 — smallest MDL seen at
+a *larger* C than the best, 1 — the best, 2 — at a *smaller* C. Each
+candidate (partition, MDL) updates the triplet, and the search then
+prescribes where to evaluate next: which stored partition to start from
+and how many blocks to merge away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sbm.blockmodel import Blockmodel
+
+__all__ = ["GoldenSectionSearch", "SearchStep"]
+
+_GOLDEN = 0.61803399
+
+
+@dataclass
+class _Anchor:
+    bm: Blockmodel | None = None
+    mdl: float = float("inf")
+
+    @property
+    def num_blocks(self) -> int:
+        return -1 if self.bm is None else self.bm.num_blocks
+
+
+@dataclass
+class SearchStep:
+    """Prescription for the next agglomerative iteration."""
+
+    start: Blockmodel | None
+    num_merges: int
+    done: bool
+    target_blocks: int = -1
+
+
+@dataclass
+class GoldenSectionSearch:
+    """Stateful search over C; feed candidates via :meth:`update`."""
+
+    reduction_rate: float = 0.5
+    min_blocks: int = 1
+    _anchors: list[_Anchor] = field(
+        default_factory=lambda: [_Anchor(), _Anchor(), _Anchor()]
+    )
+
+    @property
+    def bracket_established(self) -> bool:
+        """True once a smaller-C anchor exists (switches thresholds)."""
+        return self._anchors[2].bm is not None
+
+    @property
+    def best(self) -> Blockmodel:
+        bm = self._anchors[1].bm
+        if bm is None:
+            raise RuntimeError("no candidate partitions seen yet")
+        return bm
+
+    @property
+    def best_mdl(self) -> float:
+        return self._anchors[1].mdl
+
+    def update(self, bm: Blockmodel, mdl: float) -> SearchStep:
+        """Record a candidate and prescribe the next evaluation.
+
+        The candidate blockmodel is copied into the anchor set; callers
+        may keep mutating their instance.
+        """
+        self._place(bm.copy(), mdl)
+        a = self._anchors
+
+        if not self.bracket_established:
+            # Exponential reduction stage: keep shrinking from the best.
+            base = a[1]
+            current = base.num_blocks
+            target = max(self.min_blocks, round(current * self.reduction_rate))
+            num_merges = current - target
+            if num_merges <= 0:
+                return SearchStep(start=None, num_merges=0, done=True)
+            return SearchStep(
+                start=base.bm.copy() if base.bm is not None else None,
+                num_merges=num_merges,
+                done=False,
+                target_blocks=target,
+            )
+
+        # Golden-section stage: the optimum lies in (a[2].C, a[0].C).
+        hi, mid, lo = a[0].num_blocks, a[1].num_blocks, a[2].num_blocks
+        if hi - lo <= 2:
+            return SearchStep(start=None, num_merges=0, done=True)
+        upper_gap = hi - mid
+        lower_gap = mid - lo
+        if upper_gap >= lower_gap:
+            target = mid + round(_GOLDEN * upper_gap)
+            start = a[0].bm
+        else:
+            target = mid - round(_GOLDEN * lower_gap)
+            start = a[1].bm
+        assert start is not None
+        num_merges = start.num_blocks - target
+        if num_merges <= 0 or target < self.min_blocks:
+            return SearchStep(start=None, num_merges=0, done=True)
+        return SearchStep(
+            start=start.copy(), num_merges=num_merges, done=False, target_blocks=target
+        )
+
+    def _place(self, bm: Blockmodel, mdl: float) -> None:
+        a = self._anchors
+        if mdl <= a[1].mdl:
+            old_best = a[1]
+            if old_best.bm is not None:
+                if old_best.num_blocks > bm.num_blocks:
+                    a[0] = old_best
+                elif old_best.num_blocks < bm.num_blocks:
+                    a[2] = old_best
+                # equal C: the improved partition simply replaces the best
+            a[1] = _Anchor(bm, mdl)
+        else:
+            if a[1].bm is not None and bm.num_blocks < a[1].num_blocks:
+                a[2] = _Anchor(bm, mdl)
+            else:
+                a[0] = _Anchor(bm, mdl)

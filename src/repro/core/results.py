@@ -1,0 +1,66 @@
+"""Result records returned by the SBP drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.types import Assignment, PhaseTimings, SweepStats
+
+__all__ = ["SBPResult", "best_of"]
+
+
+@dataclass
+class SBPResult:
+    """Outcome of one community-detection run.
+
+    ``timings`` carries the per-phase wall-clock breakdown used by the
+    paper's Fig. 2 (MCMC fraction) and all speedup figures;
+    ``mcmc_sweeps`` is the iteration count reported in Fig. 8.
+    """
+
+    variant: str
+    assignment: Assignment
+    num_blocks: int
+    mdl: float
+    normalized_mdl: float
+    num_vertices: int
+    num_edges: int
+    timings: PhaseTimings
+    mcmc_sweeps: int
+    outer_iterations: int
+    seed: int
+    converged: bool
+    sweep_stats: list[SweepStats] = field(default_factory=list, repr=False)
+    #: golden-section trace: (num_blocks, mdl) per agglomerative iteration
+    search_history: list[tuple[int, float]] = field(default_factory=list, repr=False)
+
+    @property
+    def mcmc_seconds(self) -> float:
+        """MCMC-phase time including the per-sweep rebuilds."""
+        return self.timings.mcmc + self.timings.rebuild
+
+    @property
+    def total_seconds(self) -> float:
+        return self.timings.total
+
+    def summary_row(self) -> dict[str, object]:
+        """Flat representation for the reporting layer."""
+        return {
+            "variant": self.variant,
+            "V": self.num_vertices,
+            "E": self.num_edges,
+            "blocks": self.num_blocks,
+            "MDL": self.mdl,
+            "MDL_norm": self.normalized_mdl,
+            "mcmc_s": self.mcmc_seconds,
+            "total_s": self.total_seconds,
+            "sweeps": self.mcmc_sweeps,
+            "converged": self.converged,
+        }
+
+
+def best_of(results: list[SBPResult]) -> SBPResult:
+    """The paper's §4.2 selection rule: keep the lowest-MDL run."""
+    if not results:
+        raise ValueError("best_of() requires at least one result")
+    return min(results, key=lambda r: r.mdl)

@@ -1,0 +1,257 @@
+"""Top-level SBP drivers (paper Fig. 1 outer loop).
+
+``run_sbp`` executes one full agglomerative run: alternate block-merge
+and MCMC phases, steering the number of communities with the
+golden-section search until the MDL is minimized. ``run_best_of``
+repeats a run with derived seeds and keeps the lowest-MDL result, the
+paper's §4.2 protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.merge import block_merge_phase
+from repro.core.partition_search import GoldenSectionSearch
+from repro.core.results import SBPResult, best_of
+from repro.core.variants import SBPConfig, Variant
+from repro.graph.graph import Graph
+from repro.mcmc.async_gibbs import async_gibbs_sweep
+from repro.mcmc.batched import batched_gibbs_sweep
+from repro.mcmc.convergence import ConvergenceMonitor
+from repro.mcmc.hybrid import hybrid_sweep, split_vertices_by_degree
+from repro.mcmc.metropolis import metropolis_sweep
+from repro.parallel.backend import ExecutionBackend, get_backend
+from repro.sbm.blockmodel import Blockmodel
+from repro.sbm.entropy import normalized_description_length
+from repro.types import PhaseTimings, SweepStats
+from repro.utils.log import get_logger
+from repro.utils.rng import SweepRandomness, spawn_seeds
+from repro.utils.timer import StopwatchPool
+
+__all__ = ["run_sbp", "run_best_of", "run_mcmc_phase"]
+
+_log = get_logger("core.sbp")
+
+# RNG phase tags: each (outer iteration, kind) pair gets its own stream.
+_TAG_STRIDE = 4
+_KIND_SERIAL = 1
+_KIND_ASYNC = 2
+
+
+def run_mcmc_phase(
+    bm: Blockmodel,
+    graph: Graph,
+    config: SBPConfig,
+    backend: ExecutionBackend,
+    iteration: int,
+    threshold: float,
+    timers: StopwatchPool,
+) -> list[SweepStats]:
+    """Run the variant-specific MCMC phase to convergence, mutating ``bm``.
+
+    Implements the shared loop of Algs. 2-4: sweep until the windowed
+    |dMDL| falls below ``threshold * MDL`` or ``config.max_sweeps`` is
+    reached. Wall-clock is accrued to the ``mcmc`` timer, with per-sweep
+    rebuild time split out into ``rebuild``.
+    """
+    monitor = ConvergenceMonitor(threshold, config.max_sweeps)
+    rebuild_timer = timers.timer("rebuild")
+    mcmc_timer = timers.timer("mcmc")
+
+    with mcmc_timer.measure():
+        monitor.start(bm.mdl(graph))
+
+    num_vertices = graph.num_vertices
+    all_vertices = np.arange(num_vertices, dtype=np.int64)
+    if config.variant is Variant.HSBP:
+        vstar, vminus = split_vertices_by_degree(graph, config.vstar_fraction)
+    else:
+        vstar = vminus = None
+
+    stats_log: list[SweepStats] = []
+    sweep = 0
+    while True:
+        rebuild_before = rebuild_timer.elapsed
+        mcmc_timer.start()
+        if config.variant is Variant.SBP:
+            rand = SweepRandomness.draw(
+                config.seed, iteration * _TAG_STRIDE + _KIND_SERIAL, sweep, num_vertices
+            )
+            stats = metropolis_sweep(
+                bm, graph, all_vertices, rand, config.beta,
+                record_work=config.record_work,
+            )
+        elif config.variant is Variant.ASBP:
+            rand = SweepRandomness.draw(
+                config.seed, iteration * _TAG_STRIDE + _KIND_ASYNC, sweep, num_vertices
+            )
+            stats = async_gibbs_sweep(
+                bm, graph, all_vertices, rand, config.beta, backend,
+                record_work=config.record_work, rebuild_timer=rebuild_timer,
+            )
+        elif config.variant is Variant.BSBP:
+            rand = SweepRandomness.draw(
+                config.seed, iteration * _TAG_STRIDE + _KIND_ASYNC, sweep, num_vertices
+            )
+            stats = batched_gibbs_sweep(
+                bm, graph, all_vertices, rand, config.beta, backend,
+                config.num_batches,
+                record_work=config.record_work, rebuild_timer=rebuild_timer,
+            )
+        else:  # HSBP
+            assert vstar is not None and vminus is not None
+            rand_serial = SweepRandomness.draw(
+                config.seed, iteration * _TAG_STRIDE + _KIND_SERIAL, sweep, len(vstar)
+            )
+            rand_async = SweepRandomness.draw(
+                config.seed, iteration * _TAG_STRIDE + _KIND_ASYNC, sweep, len(vminus)
+            )
+            stats = hybrid_sweep(
+                bm, graph, vstar, vminus, rand_serial, rand_async,
+                config.beta, backend, record_work=config.record_work,
+                rebuild_timer=rebuild_timer,
+            )
+        mdl = bm.mdl(graph)
+        mcmc_timer.stop()
+        # Rebuild time was accrued inside the sweep (async variants call
+        # bm.rebuild under this timer via the sweep functions below); we
+        # keep it out of the 'mcmc' bucket by subtracting post-hoc.
+        rebuild_delta = rebuild_timer.elapsed - rebuild_before
+        if rebuild_delta > 0:
+            mcmc_timer.elapsed -= rebuild_delta
+
+        stats.delta_mdl = mdl - monitor.last_mdl
+        if config.record_work:
+            stats_log.append(stats)
+        else:
+            stats_log.append(
+                SweepStats(
+                    proposals=stats.proposals,
+                    accepted=stats.accepted,
+                    delta_mdl=stats.delta_mdl,
+                    serial_work=stats.serial_work,
+                    parallel_work=stats.parallel_work,
+                )
+            )
+        sweep += 1
+        if monitor.update(mdl):
+            break
+    if config.validate:
+        bm.check_consistency(graph)
+    return stats_log
+
+
+def run_sbp(graph: Graph, config: SBPConfig | None = None) -> SBPResult:
+    """Run one full stochastic block partitioning inference on ``graph``.
+
+    Returns the lowest-MDL partition found by the golden-section search,
+    with per-phase timings and sweep statistics.
+    """
+    if config is None:
+        config = SBPConfig()
+    backend = get_backend(config.backend, **config.backend_options)
+    timers = StopwatchPool()
+    search = GoldenSectionSearch(
+        reduction_rate=config.block_reduction_rate, min_blocks=1
+    )
+
+    with timers.section("other"):
+        bm = Blockmodel.singleton(graph)
+        mdl = bm.mdl(graph)
+
+    total_sweeps = 0
+    outer = 0
+    all_stats: list[SweepStats] = []
+    search_history: list[tuple[int, float]] = []
+    converged = False
+    try:
+        while True:
+            step = search.update(bm, mdl)
+            if step.done:
+                converged = True
+                break
+            if outer >= config.max_outer_iterations:
+                break
+            outer += 1
+            assert step.start is not None
+            with timers.section("block_merge"):
+                bm = block_merge_phase(
+                    step.start, graph, step.num_merges, config, outer
+                )
+            if config.validate:
+                bm.check_consistency(graph)
+            threshold = (
+                config.mcmc_threshold_final
+                if search.bracket_established
+                else config.mcmc_threshold
+            )
+            phase_stats = run_mcmc_phase(
+                bm, graph, config, backend, outer, threshold, timers
+            )
+            total_sweeps += len(phase_stats)
+            all_stats.extend(phase_stats)
+            with timers.section("other"):
+                bm.compact()
+                mdl = bm.mdl(graph)
+            search_history.append((bm.num_blocks, mdl))
+            _log.info(
+                "iter %d [%s]: C=%d mdl=%.2f sweeps=%d (%s)",
+                outer, config.variant.value, bm.num_blocks, mdl,
+                len(phase_stats),
+                "golden" if search.bracket_established else "halving",
+            )
+    finally:
+        backend.close()
+
+    best = search.best.copy()
+    best.compact()
+    best_mdl = search.best_mdl
+    _log.info(
+        "done [%s]: C=%d mdl=%.2f after %d iterations / %d sweeps "
+        "(merge %.2fs, mcmc %.2fs, rebuild %.2fs)",
+        config.variant.value, best.num_blocks, best_mdl, outer, total_sweeps,
+        timers.elapsed("block_merge"), timers.elapsed("mcmc"),
+        timers.elapsed("rebuild"),
+    )
+    timings = PhaseTimings(
+        block_merge=timers.elapsed("block_merge"),
+        mcmc=timers.elapsed("mcmc"),
+        rebuild=timers.elapsed("rebuild"),
+        other=timers.elapsed("other"),
+    )
+    return SBPResult(
+        variant=config.variant.value,
+        assignment=best.assignment,
+        num_blocks=best.num_blocks,
+        mdl=best_mdl,
+        normalized_mdl=normalized_description_length(
+            best_mdl, graph.num_edges, graph.num_vertices
+        ),
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        timings=timings,
+        mcmc_sweeps=total_sweeps,
+        outer_iterations=outer,
+        seed=config.seed,
+        converged=converged,
+        sweep_stats=all_stats if config.record_work else [],
+        search_history=search_history,
+    )
+
+
+def run_best_of(
+    graph: Graph, config: SBPConfig | None = None, runs: int = 5
+) -> tuple[SBPResult, list[SBPResult]]:
+    """Paper §4.2 protocol: ``runs`` independent runs, keep the lowest MDL.
+
+    Returns ``(best, all_results)``; aggregate timings (the paper sums
+    MCMC time across all runs) are computed by the caller from the list.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    if config is None:
+        config = SBPConfig()
+    seeds = spawn_seeds(config.seed, runs)
+    results = [run_sbp(graph, config.replace(seed=s)) for s in seeds]
+    return best_of(results), results

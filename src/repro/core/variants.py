@@ -1,0 +1,106 @@
+"""Algorithm variants and run configuration.
+
+The three variants differ only in the MCMC phase (paper Algs. 2-4); the
+agglomerative outer loop and the block-merge phase are shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Variant", "SBPConfig"]
+
+
+class Variant(str, Enum):
+    """Which MCMC-phase algorithm to run."""
+
+    SBP = "sbp"       #: serial Metropolis-Hastings (Alg. 2)
+    ASBP = "a-sbp"    #: asynchronous Gibbs (Alg. 3)
+    HSBP = "h-sbp"    #: hybrid serial V* + async V- (Alg. 4)
+    BSBP = "b-sbp"    #: batched async Gibbs (the paper's §6 future work)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class SBPConfig:
+    """Tunable parameters of a stochastic block partitioning run.
+
+    Defaults follow the paper and the GraphChallenge baseline lineage:
+    15% V* fraction (§4.2), block-count halving per agglomerative step,
+    10 merge proposals per block, beta = 3.
+
+    Attributes
+    ----------
+    variant:
+        Algorithm variant for the MCMC phase.
+    beta:
+        Inverse-temperature multiplier in the MH acceptance.
+    vstar_fraction:
+        Fraction of highest-degree vertices processed serially by H-SBP.
+    num_batches:
+        Intra-sweep rebuild count for B-SBP (1 = plain A-SBP staleness).
+    mcmc_threshold, mcmc_threshold_final:
+        The paper's ``t``: relative MDL tolerance while searching /
+        after the golden-section bracket is established.
+    max_sweeps:
+        The paper's ``x``: per-phase sweep cap.
+    merge_proposals_per_block:
+        Merge candidates evaluated per block in Alg. 1.
+    block_reduction_rate:
+        Fraction of blocks retained per agglomerative step (0.5 halves).
+    backend:
+        Execution backend for async sweeps: 'serial', 'vectorized', or
+        'process'.
+    backend_options:
+        Extra keyword arguments for the backend factory.
+    seed:
+        Master seed; every random draw in the run derives from it.
+    record_work:
+        Keep per-sweep work vectors (needed by the simulated thread
+        executor; costs memory).
+    max_outer_iterations:
+        Safety cap on agglomerative iterations.
+    validate:
+        Run O(E + C^2) blockmodel consistency checks after each phase
+        (debug aid; slow).
+    """
+
+    variant: Variant = Variant.SBP
+    beta: float = 3.0
+    vstar_fraction: float = 0.15
+    num_batches: int = 4
+    mcmc_threshold: float = 5e-4
+    mcmc_threshold_final: float = 1e-4
+    max_sweeps: int = 30
+    merge_proposals_per_block: int = 10
+    block_reduction_rate: float = 0.5
+    backend: str = "vectorized"
+    backend_options: dict = field(default_factory=dict)
+    seed: int = 0
+    record_work: bool = False
+    max_outer_iterations: int = 120
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        self.variant = Variant(self.variant)
+        if not 0.0 <= self.vstar_fraction <= 1.0:
+            raise ValueError("vstar_fraction must lie in [0, 1]")
+        if not 0.0 < self.block_reduction_rate < 1.0:
+            raise ValueError("block_reduction_rate must lie in (0, 1)")
+        if self.max_sweeps < 1:
+            raise ValueError("max_sweeps must be >= 1")
+        if self.merge_proposals_per_block < 1:
+            raise ValueError("merge_proposals_per_block must be >= 1")
+        if self.num_batches < 1:
+            raise ValueError("num_batches must be >= 1")
+        if self.beta <= 0:
+            raise ValueError("beta must be > 0")
+
+    def replace(self, **changes) -> "SBPConfig":
+        """Return a copy with the given fields changed."""
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **changes)

@@ -1,0 +1,92 @@
+"""Run diagnostics: MDL trajectories, acceptance rates, mixing summaries.
+
+Turns the per-sweep :class:`~repro.types.SweepStats` log (collected when
+``SBPConfig.record_work=True``) into analysis-ready arrays and human
+summaries — the tooling one needs to *see* the convergence behaviour the
+paper discusses (asynchronous variants needing more sweeps, acceptance
+decaying as the chain settles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import SBPResult
+from repro.types import FloatArray
+
+__all__ = ["SweepTrace", "trace_from_result"]
+
+
+@dataclass(frozen=True)
+class SweepTrace:
+    """Per-sweep arrays extracted from a recorded run."""
+
+    delta_mdl: FloatArray
+    acceptance_rate: FloatArray
+    serial_work: FloatArray
+    parallel_work: FloatArray
+
+    @property
+    def num_sweeps(self) -> int:
+        return int(self.delta_mdl.shape[0])
+
+    @property
+    def total_improvement(self) -> float:
+        """Sum of negative MDL deltas (how much the chain descended)."""
+        return float(self.delta_mdl[self.delta_mdl < 0].sum())
+
+    @property
+    def parallel_fraction(self) -> float:
+        """Share of work units in the parallelizable section (Amdahl)."""
+        total = float(self.serial_work.sum() + self.parallel_work.sum())
+        if total == 0.0:
+            return 0.0
+        return float(self.parallel_work.sum()) / total
+
+    def acceptance_decay(self) -> float:
+        """Late-phase over early-phase acceptance ratio.
+
+        Values well below 1 indicate the chain settling (healthy
+        convergence); values near 1 mean it is still mixing when the
+        stopping rule fires.
+        """
+        n = self.num_sweeps
+        if n < 4:
+            return 1.0
+        early = float(self.acceptance_rate[: n // 4].mean())
+        late = float(self.acceptance_rate[-(n // 4):].mean())
+        if early == 0.0:
+            return 1.0
+        return late / early
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "sweeps": float(self.num_sweeps),
+            "total_improvement": self.total_improvement,
+            "mean_acceptance": float(self.acceptance_rate.mean()) if self.num_sweeps else 0.0,
+            "acceptance_decay": self.acceptance_decay(),
+            "parallel_fraction": self.parallel_fraction,
+        }
+
+
+def trace_from_result(result: SBPResult) -> SweepTrace:
+    """Build a :class:`SweepTrace` from a run with recorded sweep stats.
+
+    Raises ``ValueError`` for results produced without
+    ``record_work=True`` (there is nothing to trace).
+    """
+    if not result.sweep_stats:
+        raise ValueError(
+            "result has no sweep statistics; run with SBPConfig(record_work=True)"
+        )
+    stats = result.sweep_stats
+    return SweepTrace(
+        delta_mdl=np.asarray([s.delta_mdl for s in stats], dtype=np.float64),
+        acceptance_rate=np.asarray(
+            [s.acceptance_rate for s in stats], dtype=np.float64
+        ),
+        serial_work=np.asarray([s.serial_work for s in stats], dtype=np.float64),
+        parallel_work=np.asarray([s.parallel_work for s in stats], dtype=np.float64),
+    )

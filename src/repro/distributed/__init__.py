@@ -1,0 +1,55 @@
+"""Distributed-memory SBP — the paper's §6 future-work direction.
+
+The conclusion asks "how best to distribute A-SBP and H-SBP in order to
+further speed up the algorithms and enable processing of graphs that are
+too large to fit in memory on a single computational node." This package
+prototypes that design on a *simulated* message-passing runtime
+(DESIGN.md §4: no MPI and one core here, so ranks execute round-robin
+under virtual clocks):
+
+* :mod:`repro.distributed.comm` — rank-addressed point-to-point and
+  collective operations with a latency/bandwidth cost model and
+  per-rank virtual time;
+* :mod:`repro.distributed.partition` — vertex partitioners (contiguous,
+  hash, degree-balanced) with edge-cut accounting;
+* :mod:`repro.distributed.graphdist` — per-rank subgraphs with ghost
+  vertices;
+* :mod:`repro.distributed.dsbp` — the distributed A-SBP sweep: each
+  rank evaluates its owned vertices against its blockmodel replica,
+  membership updates are allgathered, and the replica is rebuilt.
+
+Because asynchronous Gibbs evaluates against the frozen sweep-start
+state with pre-drawn per-vertex randomness, the distributed execution is
+*bit-identical* to single-node A-SBP — verified by tests — while the
+communication ledger and virtual clocks quantify what a real cluster
+run would cost.
+"""
+
+from repro.distributed.comm import CommSpec, SimCommWorld
+from repro.distributed.partition import (
+    PartitionStats,
+    partition_vertices,
+    edge_cut,
+)
+from repro.distributed.graphdist import DistributedGraph
+from repro.distributed.halo import HaloPlan, build_halo_plan, halo_exchange_moves
+from repro.distributed.dsbp import (
+    DistributedSweepReport,
+    distributed_async_sweep,
+    model_distributed_scaling,
+)
+
+__all__ = [
+    "CommSpec",
+    "SimCommWorld",
+    "PartitionStats",
+    "partition_vertices",
+    "edge_cut",
+    "DistributedGraph",
+    "HaloPlan",
+    "build_halo_plan",
+    "halo_exchange_moves",
+    "DistributedSweepReport",
+    "distributed_async_sweep",
+    "model_distributed_scaling",
+]

@@ -1,0 +1,189 @@
+"""Distributed asynchronous SBP sweep and its scaling model.
+
+The distribution design the paper's §6 points at, prototyped on the
+simulated runtime:
+
+* the blockmodel is **replicated** (the paper's own reasoning in §3.1 —
+  per-thread copies of B are memory-prohibitive, and the same holds per
+  rank for distinct *partitions*; replication plus one allgather per
+  sweep is the communication-minimal layout for the sizes B reaches
+  after the first merges);
+* each rank evaluates its **owned** vertices against its replica of the
+  frozen sweep-start state — legal precisely because asynchronous Gibbs
+  tolerates staleness;
+* accepted moves are exchanged with one allgather, every replica applies
+  them, and the blockmodel is rebuilt locally (no further traffic).
+
+Because decisions depend only on the frozen state and the pre-drawn
+per-vertex uniforms, the distributed sweep is bit-identical to
+single-node A-SBP regardless of rank count or partitioning strategy —
+the key invariant the tests pin down. What *changes* with rank count is
+the virtual cost: per-rank compute, the allgather, and the rebuild,
+which :func:`model_distributed_scaling` turns into scaling curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.comm import CommSpec, SimCommWorld
+from repro.distributed.graphdist import DistributedGraph
+from repro.distributed.partition import partition_vertices
+from repro.graph.graph import Graph
+from repro.parallel.backend import ExecutionBackend
+from repro.sbm.blockmodel import Blockmodel
+from repro.types import IntArray
+from repro.utils.rng import SweepRandomness
+
+__all__ = [
+    "DistributedSweepReport",
+    "distributed_async_sweep",
+    "model_distributed_scaling",
+]
+
+
+@dataclass
+class DistributedSweepReport:
+    """Cost accounting for one distributed sweep."""
+
+    num_ranks: int
+    accepted_moves: int
+    makespan_seconds: float
+    compute_seconds_max: float
+    communication_bytes: int
+    rebuild_seconds: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "ranks": self.num_ranks,
+            "moves": self.accepted_moves,
+            "makespan_s": self.makespan_seconds,
+            "compute_max_s": self.compute_seconds_max,
+            "comm_bytes": self.communication_bytes,
+        }
+
+
+def distributed_async_sweep(
+    bm: Blockmodel,
+    dgraph: DistributedGraph,
+    world: SimCommWorld,
+    randomness: SweepRandomness,
+    beta: float,
+    backend: ExecutionBackend,
+    seconds_per_unit: float = 1e-6,
+    rebuild_seconds: float = 0.0,
+) -> DistributedSweepReport:
+    """Run one distributed A-SBP sweep, mutating ``bm`` (the replica).
+
+    ``randomness`` must cover all vertices *by global vertex id* (row v
+    drives vertex v), so ownership does not alter the chain.
+    ``seconds_per_unit`` and ``rebuild_seconds`` feed the virtual
+    clocks; they do not affect results.
+    """
+    graph = dgraph.graph
+    if len(randomness) < graph.num_vertices:
+        raise ValueError(
+            f"randomness covers {len(randomness)} vertices, need {graph.num_vertices}"
+        )
+    if world.num_ranks != dgraph.num_ranks:
+        raise ValueError(
+            f"world has {world.num_ranks} ranks, partition has {dgraph.num_ranks}"
+        )
+
+    contributions: list[np.ndarray] = []
+    compute_max = 0.0
+    for shard in dgraph.shards:
+        owned = shard.owned
+        uniforms = randomness.uniforms[owned]
+        accepted, targets = backend.evaluate_sweep(bm, graph, owned, uniforms, beta)
+        moved = accepted & (targets != bm.assignment[owned])
+        moves = np.stack([owned[moved], targets[moved]], axis=1)
+        contributions.append(moves)
+        work = float((graph.degree[owned] + 1).sum()) * seconds_per_unit
+        world.advance_compute(shard.rank, work)
+        compute_max = max(compute_max, work)
+
+    gathered = world.allgather(contributions)
+    all_moves = (
+        np.concatenate(gathered) if gathered else np.empty((0, 2), dtype=np.int64)
+    )
+
+    new_assignment = bm.assignment.copy()
+    if all_moves.size:
+        new_assignment[all_moves[:, 0]] = all_moves[:, 1]
+    bm.rebuild(graph, new_assignment)
+    for rank in range(world.num_ranks):
+        world.advance_compute(rank, rebuild_seconds)
+
+    return DistributedSweepReport(
+        num_ranks=world.num_ranks,
+        accepted_moves=int(all_moves.shape[0]),
+        makespan_seconds=world.makespan,
+        compute_seconds_max=compute_max,
+        communication_bytes=world.ledger.total_bytes,
+        rebuild_seconds=rebuild_seconds,
+    )
+
+
+def model_distributed_scaling(
+    graph: Graph,
+    assignment: IntArray,
+    rank_counts: list[int],
+    sweeps: int = 3,
+    strategy: str = "degree_balanced",
+    spec: CommSpec | None = None,
+    seconds_per_unit: float = 1e-6,
+    rebuild_seconds: float = 1e-3,
+    beta: float = 3.0,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Modeled distributed A-SBP scaling over ``rank_counts``.
+
+    Runs ``sweeps`` distributed sweeps from the given starting
+    ``assignment`` for each rank count and reports per-count makespan,
+    communication volume, partition quality and result checksum (which
+    must be identical across rank counts — staleness semantics don't
+    depend on the partitioning).
+    """
+    from repro.distributed.partition import partition_stats
+    from repro.parallel.vectorized import VectorizedBackend
+
+    backend = VectorizedBackend()
+    rows: list[dict[str, object]] = []
+    reference: int | None = None
+    for ranks in rank_counts:
+        bm = Blockmodel.from_assignment(
+            graph, np.asarray(assignment, dtype=np.int64)
+        )
+        owner = partition_vertices(graph, ranks, strategy=strategy)
+        dgraph = DistributedGraph(graph, owner)
+        world = SimCommWorld(ranks, spec)
+        accepted = 0
+        for sweep in range(sweeps):
+            rand = SweepRandomness.draw(seed, 900, sweep, graph.num_vertices)
+            report = distributed_async_sweep(
+                bm, dgraph, world, rand, beta, backend,
+                seconds_per_unit=seconds_per_unit,
+                rebuild_seconds=rebuild_seconds,
+            )
+            accepted += report.accepted_moves
+        checksum = int(np.bitwise_xor.reduce(
+            (bm.assignment * np.arange(1, graph.num_vertices + 1)) & 0xFFFF
+        ))
+        if reference is None:
+            reference = checksum
+        stats = partition_stats(graph, owner, strategy)
+        rows.append(
+            {
+                "ranks": ranks,
+                "makespan_s": world.makespan,
+                "comm_bytes": world.ledger.total_bytes,
+                "edge_cut": stats.edge_cut_fraction,
+                "degree_imbalance": stats.degree_imbalance,
+                "moves": accepted,
+                "result_matches_1rank": checksum == reference,
+            }
+        )
+    return rows

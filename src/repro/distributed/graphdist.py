@@ -1,0 +1,111 @@
+"""Per-rank graph shards with ghost-vertex tables.
+
+Each rank owns a vertex subset and stores the induced local adjacency:
+every edge incident to an owned vertex is kept, and the non-owned
+endpoints become *ghosts* whose community memberships must be refreshed
+from their owners each sweep. The ghost table size — reported per rank —
+is exactly the halo-exchange volume a real distributed A-SBP would pay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.types import IntArray
+
+__all__ = ["RankShard", "DistributedGraph"]
+
+
+@dataclass
+class RankShard:
+    """One rank's view of the graph.
+
+    Attributes
+    ----------
+    rank:
+        Owning rank id.
+    owned:
+        Sorted vertex ids owned by this rank.
+    ghosts:
+        Sorted non-owned vertex ids adjacent to owned vertices.
+    local_edges:
+        Edges with at least one owned endpoint, in global vertex ids.
+    """
+
+    rank: int
+    owned: IntArray
+    ghosts: IntArray
+    local_edges: IntArray
+
+    @property
+    def num_owned(self) -> int:
+        return int(self.owned.shape[0])
+
+    @property
+    def num_ghosts(self) -> int:
+        return int(self.ghosts.shape[0])
+
+    @property
+    def halo_bytes(self) -> int:
+        """Bytes per sweep to refresh ghost memberships (int64 each)."""
+        return self.num_ghosts * 8
+
+
+class DistributedGraph:
+    """A graph partitioned over ``num_ranks`` simulated ranks."""
+
+    def __init__(self, graph: Graph, owner: IntArray) -> None:
+        owner = np.asarray(owner, dtype=np.int64)
+        if owner.shape != (graph.num_vertices,):
+            raise ValueError(
+                f"owner must have shape ({graph.num_vertices},), got {owner.shape}"
+            )
+        if owner.size and owner.min() < 0:
+            raise ValueError("owner ranks must be non-negative")
+        self.graph = graph
+        self.owner = owner
+        self.num_ranks = int(owner.max()) + 1 if owner.size else 1
+        self.shards = [self._build_shard(r) for r in range(self.num_ranks)]
+
+    def _build_shard(self, rank: int) -> RankShard:
+        owned_mask = self.owner == rank
+        owned = np.nonzero(owned_mask)[0].astype(np.int64)
+        edges = self.graph.edges
+        touches = owned_mask[edges[:, 0]] | owned_mask[edges[:, 1]]
+        local_edges = edges[touches]
+        endpoints = np.unique(local_edges)
+        ghosts = endpoints[~owned_mask[endpoints]].astype(np.int64)
+        return RankShard(rank=rank, owned=owned, ghosts=ghosts, local_edges=local_edges)
+
+    def shard(self, rank: int) -> RankShard:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_ranks})")
+        return self.shards[rank]
+
+    @property
+    def total_ghosts(self) -> int:
+        return sum(s.num_ghosts for s in self.shards)
+
+    @property
+    def replication_factor(self) -> float:
+        """(owned + ghost) vertex slots per real vertex — memory blowup."""
+        slots = sum(s.num_owned + s.num_ghosts for s in self.shards)
+        return slots / self.graph.num_vertices
+
+    def check_cover(self) -> None:
+        """Invariant: every vertex owned exactly once; edges covered."""
+        owned_counts = np.zeros(self.graph.num_vertices, dtype=np.int64)
+        for shard in self.shards:
+            owned_counts[shard.owned] += 1
+        if not (owned_counts == 1).all():
+            raise AssertionError("ownership is not a partition")
+        covered = sum(s.local_edges.shape[0] for s in self.shards)
+        cut = int(
+            (self.owner[self.graph.edges[:, 0]] != self.owner[self.graph.edges[:, 1]]).sum()
+        )
+        # cut edges appear in both endpoint shards, internal edges once
+        if covered != self.graph.num_edges + cut:
+            raise AssertionError("edge coverage mismatch")

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "GraphValidationError",
+    "GeneratorError",
+    "BlockmodelError",
+    "ConvergenceError",
+    "BackendError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when parsing a graph file fails (bad syntax, bad header)."""
+
+
+class GraphValidationError(ReproError):
+    """Raised when graph inputs violate an invariant (e.g. negative ids)."""
+
+
+class GeneratorError(ReproError):
+    """Raised when a synthetic graph generator receives unusable parameters."""
+
+
+class BlockmodelError(ReproError):
+    """Raised when blockmodel state is inconsistent or misused."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an inference driver cannot make progress at all."""
+
+
+class BackendError(ReproError):
+    """Raised when a parallel execution backend fails or is unavailable."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the benchmark harness for misconfigured experiments."""

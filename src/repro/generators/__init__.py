@@ -1,0 +1,33 @@
+"""Synthetic graph generators: DCSBM sampler, Table 1 corpus, Table 2 stand-ins."""
+
+from repro.generators.degree import sample_power_law_degrees, power_law_pmf
+from repro.generators.partition import sample_memberships
+from repro.generators.dcsbm import DCSBMParams, generate_dcsbm
+from repro.generators.corpus import (
+    SyntheticSpec,
+    SYNTHETIC_SPECS,
+    generate_synthetic,
+    corpus_ids,
+)
+from repro.generators.realworld import (
+    RealWorldSpec,
+    REAL_WORLD_SPECS,
+    generate_real_world_standin,
+    real_world_ids,
+)
+
+__all__ = [
+    "sample_power_law_degrees",
+    "power_law_pmf",
+    "sample_memberships",
+    "DCSBMParams",
+    "generate_dcsbm",
+    "SyntheticSpec",
+    "SYNTHETIC_SPECS",
+    "generate_synthetic",
+    "corpus_ids",
+    "RealWorldSpec",
+    "REAL_WORLD_SPECS",
+    "generate_real_world_standin",
+    "real_world_ids",
+]

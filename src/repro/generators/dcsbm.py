@@ -1,0 +1,149 @@
+"""Degree-corrected SBM graph sampler (replaces graph-tool's generator).
+
+Directed multigraph sampling: every vertex carries out-/in-degree
+propensities drawn from a bounded power law; edge sources are the
+out-stub list; each edge's target community is drawn from a planted
+partition with within:between ratio ``r`` (degree-corrected by the
+target communities' in-propensity mass), and the target vertex is drawn
+proportionally to in-propensity within the community. ``r = 1``
+degenerates to a pure degree-corrected random graph with no community
+structure — exactly the "little community structure" regime where the
+paper's algorithms (rightly) fail to converge.
+
+Like graph-tool's ``generate_sbm``, the sampler is stochastic and only
+approximately realizes the requested degree sequence and ratio (the
+paper notes the same caveat for Table 1). Self-loops are rejected and
+dropped (one resample attempt each), matching the unweighted directed
+simple-ish graphs of the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeneratorError
+from repro.generators.degree import rescale_to_mean, sample_power_law_degrees
+from repro.generators.partition import sample_memberships
+from repro.graph.graph import Graph
+from repro.types import Assignment
+from repro.utils.rng import philox_stream
+
+__all__ = ["DCSBMParams", "generate_dcsbm"]
+
+
+@dataclass(frozen=True)
+class DCSBMParams:
+    """Inputs to the DCSBM sampler (mirrors the paper's §4.1 knobs)."""
+
+    num_vertices: int
+    num_communities: int
+    within_between_ratio: float  #: the paper's r
+    degree_exponent: float = 2.5
+    d_min: int = 1
+    d_max: int = 20
+    mean_degree: float | None = None  #: out-degree mean; None keeps the raw power law
+    size_concentration: float = 10.0
+
+    def validate(self) -> None:
+        if self.num_vertices < 2:
+            raise GeneratorError("num_vertices must be >= 2")
+        if self.num_communities < 1:
+            raise GeneratorError("num_communities must be >= 1")
+        if self.within_between_ratio < 0:
+            raise GeneratorError("within_between_ratio (r) must be >= 0")
+
+
+def generate_dcsbm(params: DCSBMParams, seed: int = 0) -> tuple[Graph, Assignment]:
+    """Sample a directed DCSBM graph; returns (graph, ground-truth labels)."""
+    params.validate()
+    rng = philox_stream(seed, 0xD05B)
+
+    membership = sample_memberships(
+        rng, params.num_vertices, params.num_communities, params.size_concentration
+    )
+
+    out_prop = sample_power_law_degrees(
+        rng, params.num_vertices, params.degree_exponent, params.d_min, params.d_max
+    )
+    in_prop = sample_power_law_degrees(
+        rng, params.num_vertices, params.degree_exponent, params.d_min, params.d_max
+    )
+    if params.mean_degree is not None:
+        out_prop = rescale_to_mean(out_prop, params.mean_degree)
+        in_prop = rescale_to_mean(in_prop, params.mean_degree)
+
+    sources = np.repeat(
+        np.arange(params.num_vertices, dtype=np.int64), out_prop
+    )
+    rng.shuffle(sources)
+    targets = _sample_targets(rng, sources, membership, in_prop, params)
+
+    # Drop self-loops after one resample attempt.
+    loops = sources == targets
+    if loops.any():
+        targets[loops] = _sample_targets(
+            rng, sources[loops], membership, in_prop, params
+        )
+        keep = sources != targets
+        sources, targets = sources[keep], targets[keep]
+
+    edges = np.stack([sources, targets], axis=1)
+    return Graph(params.num_vertices, edges), membership
+
+
+def _sample_targets(
+    rng: np.random.Generator,
+    sources: np.ndarray,
+    membership: Assignment,
+    in_prop: np.ndarray,
+    params: DCSBMParams,
+) -> np.ndarray:
+    """Draw a target vertex for every source edge stub."""
+    K = params.num_communities
+    r = params.within_between_ratio
+
+    # In-propensity mass per community (degree correction).
+    mass = np.bincount(membership, weights=in_prop.astype(np.float64), minlength=K)
+    if (mass <= 0).any():
+        # Guarantee every community is reachable.
+        mass = mass + 1e-9
+
+    # Community-to-community target weights: within edges boosted by r.
+    weight = np.tile(mass, (K, 1))
+    diag = np.arange(K)
+    weight[diag, diag] *= max(r, 1e-12)
+    row_cdf = np.cumsum(weight, axis=1)
+    row_tot = row_cdf[:, -1]
+
+    src_comm = membership[sources]
+    u = rng.random(sources.shape[0])
+    # Vectorized per-row inverse-CDF: searchsorted each source against its
+    # community's CDF row, grouped by community.
+    tgt_comm = np.empty(sources.shape[0], dtype=np.int64)
+    for a in range(K):
+        sel = np.nonzero(src_comm == a)[0]
+        if sel.size == 0:
+            continue
+        tgt_comm[sel] = np.searchsorted(
+            row_cdf[a], u[sel] * row_tot[a], side="right"
+        )
+    np.clip(tgt_comm, 0, K - 1, out=tgt_comm)
+
+    # Draw the vertex within each target community, in-propensity weighted.
+    targets = np.empty(sources.shape[0], dtype=np.int64)
+    u2 = rng.random(sources.shape[0])
+    for b in range(K):
+        sel = np.nonzero(tgt_comm == b)[0]
+        if sel.size == 0:
+            continue
+        members = np.nonzero(membership == b)[0]
+        w = in_prop[members].astype(np.float64)
+        if w.sum() <= 0:
+            w = np.ones(members.shape[0])
+        cdf = np.cumsum(w)
+        idx = np.searchsorted(cdf, u2[sel] * cdf[-1], side="right")
+        np.clip(idx, 0, members.shape[0] - 1, out=idx)
+        targets[sel] = members[idx]
+    return targets

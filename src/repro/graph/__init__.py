@@ -1,0 +1,39 @@
+"""Directed-graph substrate: CSR storage, construction, IO and statistics."""
+
+from repro.graph.graph import Graph
+from repro.graph.builder import GraphBuilder
+from repro.graph.io import (
+    read_edge_list,
+    read_weighted_edge_list,
+    write_edge_list,
+    read_matrix_market,
+    write_matrix_market,
+)
+from repro.graph.properties import GraphSummary, summarize, estimate_power_law_exponent
+from repro.graph.transforms import (
+    symmetrize,
+    remove_self_loops,
+    expand_weighted_edges,
+    induced_subgraph,
+    weak_components,
+    largest_weak_component,
+)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "read_edge_list",
+    "read_weighted_edge_list",
+    "write_edge_list",
+    "read_matrix_market",
+    "write_matrix_market",
+    "GraphSummary",
+    "summarize",
+    "estimate_power_law_exponent",
+    "symmetrize",
+    "remove_self_loops",
+    "expand_weighted_edges",
+    "induced_subgraph",
+    "weak_components",
+    "largest_weak_component",
+]

@@ -1,0 +1,113 @@
+"""Incremental construction of :class:`~repro.graph.Graph` objects."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import GraphValidationError
+from repro.graph.graph import Graph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulates edges and produces an immutable :class:`Graph`.
+
+    Vertex ids may be arbitrary hashables; they are densely relabelled to
+    ``0..V-1`` at :meth:`build` time (in first-seen order) unless the
+    builder was constructed with a fixed ``num_vertices``, in which case
+    ids must already be integers in range.
+
+    Example
+    -------
+    >>> b = GraphBuilder()
+    >>> b.add_edge("a", "b").add_edge("b", "c")
+    GraphBuilder(vertices=3, edges=2)
+    >>> g = b.build()
+    >>> (g.num_vertices, g.num_edges)
+    (3, 2)
+    """
+
+    def __init__(self, num_vertices: int | None = None) -> None:
+        self._fixed_size = num_vertices
+        self._labels: dict[object, int] = {}
+        self._sources: list[int] = []
+        self._targets: list[int] = []
+
+    def _intern(self, label: object) -> int:
+        if self._fixed_size is not None:
+            try:
+                v = int(label)  # type: ignore[arg-type]
+            except (TypeError, ValueError) as exc:
+                raise GraphValidationError(
+                    f"fixed-size builder requires integer ids, got {label!r}"
+                ) from exc
+            if not 0 <= v < self._fixed_size:
+                raise GraphValidationError(
+                    f"vertex {v} out of range [0, {self._fixed_size})"
+                )
+            return v
+        idx = self._labels.get(label)
+        if idx is None:
+            idx = len(self._labels)
+            self._labels[label] = idx
+        return idx
+
+    def add_edge(self, source: object, target: object) -> "GraphBuilder":
+        """Append one directed edge; returns self for chaining."""
+        self._sources.append(self._intern(source))
+        self._targets.append(self._intern(target))
+        return self
+
+    def add_edges(self, edges: Iterable[tuple[object, object]]) -> "GraphBuilder":
+        for s, t in edges:
+            self.add_edge(s, t)
+        return self
+
+    def add_vertex(self, label: object) -> int:
+        """Register an (possibly isolated) vertex; returns its dense id."""
+        return self._intern(label)
+
+    @property
+    def num_vertices(self) -> int:
+        if self._fixed_size is not None:
+            return self._fixed_size
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._sources)
+
+    @property
+    def labels(self) -> list[object]:
+        """Original labels indexed by dense id (auto-sized builders only)."""
+        out: list[object] = [None] * len(self._labels)
+        for label, idx in self._labels.items():
+            out[idx] = label
+        return out
+
+    def build(self, deduplicate: bool = False) -> Graph:
+        """Produce the immutable graph.
+
+        Parameters
+        ----------
+        deduplicate:
+            If true, parallel edges are collapsed to a single edge.
+        """
+        if self.num_vertices == 0:
+            raise GraphValidationError("cannot build a graph with no vertices")
+        edges = np.stack(
+            [
+                np.asarray(self._sources, dtype=np.int64),
+                np.asarray(self._targets, dtype=np.int64),
+            ],
+            axis=1,
+        ) if self._sources else np.empty((0, 2), dtype=np.int64)
+        if deduplicate and edges.size:
+            edges = np.unique(edges, axis=0)
+        return Graph(self.num_vertices, edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GraphBuilder(vertices={self.num_vertices}, edges={self.num_edges})"

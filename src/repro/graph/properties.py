@@ -1,0 +1,119 @@
+"""Descriptive statistics over graphs (degrees, density, power-law fit).
+
+Used by the Table 1 / Table 2 benches to report the generated corpus in
+the paper's format, and by the real-world stand-in generator to check
+that the requested degree profile was honoured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.types import FloatArray, IntArray
+
+__all__ = ["GraphSummary", "summarize", "estimate_power_law_exponent", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Headline statistics of a directed graph."""
+
+    num_vertices: int
+    num_edges: int
+    density: float
+    mean_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    self_loop_count: int
+    power_law_exponent: float
+
+    def as_row(self) -> dict[str, float | int]:
+        """Flat dict representation for the reporting layer."""
+        return {
+            "V": self.num_vertices,
+            "E": self.num_edges,
+            "density": self.density,
+            "mean_degree": self.mean_degree,
+            "max_out_degree": self.max_out_degree,
+            "max_in_degree": self.max_in_degree,
+            "self_loops": self.self_loop_count,
+            "plaw_exponent": self.power_law_exponent,
+        }
+
+
+def summarize(graph: Graph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``graph``."""
+    return GraphSummary(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        density=graph.density,
+        mean_degree=float(graph.degree.mean()),
+        max_out_degree=int(graph.out_degree.max(initial=0)),
+        max_in_degree=int(graph.in_degree.max(initial=0)),
+        self_loop_count=int(graph.self_loops.sum()),
+        power_law_exponent=estimate_power_law_exponent(graph.degree),
+    )
+
+
+def estimate_power_law_exponent(
+    degrees: IntArray, d_min: int = 1, method: str = "discrete"
+) -> float:
+    """Power-law exponent MLE over degrees ``>= d_min``.
+
+    ``method='discrete'`` (default) maximizes the zeta-normalized
+    discrete likelihood numerically (Clauset-Shalizi-Newman Eq. B.5,
+    using the Hurwitz zeta for the normalizer — accurate even at
+    ``d_min = 1``); ``method='continuous'`` uses the closed-form
+    continuous approximation ``1 + n / sum(log(d / (d_min - 0.5)))``,
+    which is faster but biased for small ``d_min``. Returns ``nan`` when
+    fewer than two qualifying degrees exist.
+    """
+    d = np.asarray(degrees, dtype=np.float64)
+    d = d[d >= d_min]
+    if d.size < 2:
+        return float("nan")
+    if method == "continuous":
+        total = float(np.log(d / (d_min - 0.5)).sum())
+        if total <= 0:
+            return float("nan")
+        return float(1.0 + d.size / total)
+    if method != "discrete":
+        raise ValueError(f"method must be 'discrete' or 'continuous', got {method!r}")
+    if np.all(d == d[0]):
+        return float("nan")  # degenerate: likelihood increases without bound
+
+    from scipy import optimize, special
+
+    log_mean = float(np.log(d).mean())
+
+    def negative_loglik(alpha: float) -> float:
+        return alpha * log_mean + float(np.log(special.zeta(alpha, d_min)))
+
+    result = optimize.minimize_scalar(
+        negative_loglik, bounds=(1.05, 8.0), method="bounded"
+    )
+    if not result.success:  # pragma: no cover - bounded search always succeeds
+        return float("nan")
+    return float(result.x)
+
+
+def degree_histogram(graph: Graph, kind: str = "total") -> tuple[IntArray, FloatArray]:
+    """Return (degree values, empirical pmf) for the chosen degree kind.
+
+    ``kind`` is one of ``"total"``, ``"out"``, ``"in"``.
+    """
+    if kind == "total":
+        degrees = graph.degree
+    elif kind == "out":
+        degrees = graph.out_degree
+    elif kind == "in":
+        degrees = graph.in_degree
+    else:
+        raise ValueError(f"kind must be 'total', 'out' or 'in', got {kind!r}")
+    counts = np.bincount(degrees)
+    values = np.nonzero(counts)[0]
+    pmf = counts[values] / degrees.shape[0]
+    return values.astype(np.int64), pmf.astype(np.float64)

@@ -1,0 +1,141 @@
+"""Graph transforms: symmetrization, weights, component extraction.
+
+Covers the preprocessing steps the paper's future work points at (§6:
+"we also intend to test our approach on weighted and undirected
+graphs"):
+
+* **undirected graphs** enter the directed pipeline via
+  :func:`symmetrize` (every edge duplicated in both directions — the
+  standard embedding of an undirected multigraph into the directed
+  DCSBM);
+* **integer-weighted graphs** are exact multigraphs: a weight-w edge is
+  w parallel edges, which the entire MDL stack already handles —
+  :func:`expand_weighted_edges` performs that expansion;
+* :func:`largest_weak_component` / :func:`induced_subgraph` are the
+  usual cleanup before inference on real datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphValidationError
+from repro.graph.graph import Graph
+from repro.types import EdgeList, IntArray
+
+__all__ = [
+    "symmetrize",
+    "remove_self_loops",
+    "expand_weighted_edges",
+    "induced_subgraph",
+    "weak_components",
+    "largest_weak_component",
+]
+
+
+def symmetrize(graph: Graph, collapse: bool = False) -> Graph:
+    """Embed the graph as a symmetric directed graph.
+
+    Every edge (u, v) gains a reverse edge (v, u); self-loops are kept
+    single. With ``collapse=True``, parallel edges in the result are
+    deduplicated first (useful when the input already contains both
+    directions for some pairs).
+    """
+    edges = graph.edges
+    off_diag = edges[edges[:, 0] != edges[:, 1]]
+    loops = edges[edges[:, 0] == edges[:, 1]]
+    combined = np.concatenate([off_diag, off_diag[:, ::-1], loops])
+    if collapse and combined.size:
+        combined = np.unique(combined, axis=0)
+    return Graph(graph.num_vertices, np.ascontiguousarray(combined))
+
+
+def remove_self_loops(graph: Graph) -> Graph:
+    """Drop all self-loop edges."""
+    keep = graph.edges[:, 0] != graph.edges[:, 1]
+    return Graph(graph.num_vertices, graph.edges[keep])
+
+
+def expand_weighted_edges(
+    edges: EdgeList, weights: np.ndarray, num_vertices: int
+) -> Graph:
+    """Build a multigraph where each edge is repeated ``weights`` times.
+
+    The exact embedding of an integer-weighted graph into the
+    (count-based) microcanonical DCSBM. Weights must be non-negative
+    integers; zero-weight edges are dropped.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    weights = np.asarray(weights)
+    if weights.shape[0] != edges.shape[0]:
+        raise GraphValidationError(
+            f"weights length {weights.shape[0]} != edge count {edges.shape[0]}"
+        )
+    if not np.issubdtype(weights.dtype, np.integer):
+        rounded = np.rint(weights)
+        if not np.allclose(weights, rounded):
+            raise GraphValidationError(
+                "weights must be (convertible to) non-negative integers; "
+                "rescale fractional weights first"
+            )
+        weights = rounded.astype(np.int64)
+    if (weights < 0).any():
+        raise GraphValidationError("weights must be non-negative")
+    expanded = np.repeat(edges, weights, axis=0)
+    return Graph(num_vertices, expanded)
+
+
+def induced_subgraph(graph: Graph, vertices: IntArray) -> tuple[Graph, IntArray]:
+    """Subgraph on ``vertices`` with dense relabeling.
+
+    Returns ``(subgraph, mapping)`` where ``mapping[i]`` is the original
+    id of new vertex ``i``.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    if vertices.size == 0:
+        raise GraphValidationError("induced subgraph needs at least one vertex")
+    if vertices.min() < 0 or vertices.max() >= graph.num_vertices:
+        raise GraphValidationError("subgraph vertices out of range")
+    lookup = np.full(graph.num_vertices, -1, dtype=np.int64)
+    lookup[vertices] = np.arange(vertices.shape[0], dtype=np.int64)
+    edges = graph.edges
+    keep = (lookup[edges[:, 0]] >= 0) & (lookup[edges[:, 1]] >= 0)
+    sub_edges = lookup[edges[keep]]
+    return Graph(int(vertices.shape[0]), sub_edges), vertices
+
+
+def weak_components(graph: Graph) -> IntArray:
+    """Label vertices by weakly connected component (union-find)."""
+    parent = np.arange(graph.num_vertices, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = int(parent[root])
+        while parent[x] != root:
+            parent[x], x = root, int(parent[x])
+        return root
+
+    for s, t in graph.edges:
+        rs, rt = find(int(s)), find(int(t))
+        if rs != rt:
+            parent[rs] = rt
+    roots = np.fromiter(
+        (find(v) for v in range(graph.num_vertices)),
+        dtype=np.int64,
+        count=graph.num_vertices,
+    )
+    _, labels = np.unique(roots, return_inverse=True)
+    return labels.astype(np.int64)
+
+
+def largest_weak_component(graph: Graph) -> tuple[Graph, IntArray]:
+    """Subgraph of the largest weakly connected component.
+
+    Returns ``(subgraph, mapping)`` as in :func:`induced_subgraph`.
+    """
+    labels = weak_components(graph)
+    sizes = np.bincount(labels)
+    biggest = int(np.argmax(sizes))
+    members = np.nonzero(labels == biggest)[0]
+    return induced_subgraph(graph, members)

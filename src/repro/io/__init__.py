@@ -1,0 +1,19 @@
+"""Persistence for inference artifacts (results, blockmodels, labelings)."""
+
+from repro.io.serialize import (
+    save_result,
+    load_result,
+    save_assignment,
+    load_assignment,
+    save_blockmodel,
+    load_blockmodel,
+)
+
+__all__ = [
+    "save_result",
+    "load_result",
+    "save_assignment",
+    "load_assignment",
+    "save_blockmodel",
+    "load_blockmodel",
+]

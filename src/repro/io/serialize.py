@@ -1,0 +1,172 @@
+"""Save/load inference artifacts.
+
+Three formats, chosen for the artifact's shape:
+
+* **results** — JSON with the assignment embedded (human-inspectable,
+  diff-able, version-tagged);
+* **assignments** — ``vertex community`` text lines, interoperable with
+  the CLI and with common community-detection tooling;
+* **blockmodels** — compressed ``.npz`` (the B matrix is a dense array).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.core.results import SBPResult
+from repro.errors import ReproError
+from repro.sbm.blockmodel import Blockmodel
+from repro.types import Assignment, PhaseTimings
+
+__all__ = [
+    "save_result",
+    "load_result",
+    "save_assignment",
+    "load_assignment",
+    "save_blockmodel",
+    "load_blockmodel",
+]
+
+_RESULT_FORMAT_VERSION = 1
+
+
+def save_result(result: SBPResult, path: str | os.PathLike[str]) -> None:
+    """Serialize an :class:`SBPResult` (sweep stats excluded) as JSON."""
+    payload = {
+        "format": "repro.sbp_result",
+        "version": _RESULT_FORMAT_VERSION,
+        "variant": result.variant,
+        "assignment": result.assignment.tolist(),
+        "num_blocks": result.num_blocks,
+        "mdl": result.mdl,
+        "normalized_mdl": result.normalized_mdl,
+        "num_vertices": result.num_vertices,
+        "num_edges": result.num_edges,
+        "timings": {
+            "block_merge": result.timings.block_merge,
+            "mcmc": result.timings.mcmc,
+            "rebuild": result.timings.rebuild,
+            "other": result.timings.other,
+        },
+        "mcmc_sweeps": result.mcmc_sweeps,
+        "outer_iterations": result.outer_iterations,
+        "seed": result.seed,
+        "converged": result.converged,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+
+
+def load_result(path: str | os.PathLike[str]) -> SBPResult:
+    """Load a result saved by :func:`save_result`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("format") != "repro.sbp_result":
+        raise ReproError(f"{path}: not a repro result file")
+    if payload.get("version", 0) > _RESULT_FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: result format v{payload['version']} is newer than "
+            f"supported v{_RESULT_FORMAT_VERSION}"
+        )
+    timings = payload["timings"]
+    return SBPResult(
+        variant=payload["variant"],
+        assignment=np.asarray(payload["assignment"], dtype=np.int64),
+        num_blocks=int(payload["num_blocks"]),
+        mdl=float(payload["mdl"]),
+        normalized_mdl=float(payload["normalized_mdl"]),
+        num_vertices=int(payload["num_vertices"]),
+        num_edges=int(payload["num_edges"]),
+        timings=PhaseTimings(
+            block_merge=float(timings["block_merge"]),
+            mcmc=float(timings["mcmc"]),
+            rebuild=float(timings["rebuild"]),
+            other=float(timings["other"]),
+        ),
+        mcmc_sweeps=int(payload["mcmc_sweeps"]),
+        outer_iterations=int(payload["outer_iterations"]),
+        seed=int(payload["seed"]),
+        converged=bool(payload["converged"]),
+    )
+
+
+def save_assignment(assignment: Assignment, path: str | os.PathLike[str]) -> None:
+    """Write ``vertex community`` lines (the CLI's community format)."""
+    assignment = np.asarray(assignment, dtype=np.int64)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# vertex community\n")
+        for v, c in enumerate(assignment):
+            fh.write(f"{v} {c}\n")
+
+
+def load_assignment(
+    path: str | os.PathLike[str], num_vertices: int | None = None
+) -> Assignment:
+    """Read a ``vertex community`` file back into a dense vector.
+
+    Vertices absent from the file get community -1 when ``num_vertices``
+    is given; otherwise the file must cover 0..V-1 densely.
+    """
+    pairs: list[tuple[int, int]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ReproError(f"{path}:{lineno}: expected 'vertex community'")
+            pairs.append((int(parts[0]), int(parts[1])))
+    if not pairs:
+        raise ReproError(f"{path}: no assignments found")
+    max_vertex = max(v for v, _ in pairs)
+    size = num_vertices if num_vertices is not None else max_vertex + 1
+    if max_vertex >= size:
+        raise ReproError(
+            f"{path}: vertex {max_vertex} out of range for size {size}"
+        )
+    out = np.full(size, -1, dtype=np.int64)
+    for v, c in pairs:
+        out[v] = c
+    if num_vertices is None and (out < 0).any():
+        raise ReproError(f"{path}: sparse assignment needs explicit num_vertices")
+    return out
+
+
+def save_blockmodel(bm: Blockmodel, path: str | os.PathLike[str]) -> None:
+    """Persist blockmodel state as compressed ``.npz``."""
+    np.savez_compressed(
+        path,
+        B=bm.B,
+        assignment=bm.assignment,
+        num_blocks=np.asarray([bm.num_blocks], dtype=np.int64),
+    )
+
+
+def load_blockmodel(path: str | os.PathLike[str]) -> Blockmodel:
+    """Load a blockmodel saved by :func:`save_blockmodel`.
+
+    Degree vectors are recomputed from B (cheaper than storing them and
+    immune to tampered files disagreeing with the matrix).
+    """
+    with np.load(path) as data:
+        try:
+            B = data["B"].astype(np.int64)
+            assignment = data["assignment"].astype(np.int64)
+            num_blocks = int(data["num_blocks"][0])
+        except KeyError as exc:
+            raise ReproError(f"{path}: missing blockmodel field {exc}") from exc
+    if B.shape != (num_blocks, num_blocks):
+        raise ReproError(
+            f"{path}: B shape {B.shape} inconsistent with num_blocks {num_blocks}"
+        )
+    return Blockmodel(
+        B=B,
+        d_out=B.sum(axis=1),
+        d_in=B.sum(axis=0),
+        assignment=assignment,
+        num_blocks=num_blocks,
+    )

@@ -1,0 +1,24 @@
+"""MCMC kernels: serial Metropolis-Hastings, asynchronous Gibbs, hybrid.
+
+These implement the paper's Algorithms 2 (SBP), 3 (A-SBP) and 4 (H-SBP)
+MCMC phases. Parallel execution backends are injected (duck-typed) so
+this package never depends on :mod:`repro.parallel`.
+"""
+
+from repro.mcmc.evaluate import VertexDecision, evaluate_vertex
+from repro.mcmc.metropolis import metropolis_sweep
+from repro.mcmc.async_gibbs import async_gibbs_sweep
+from repro.mcmc.batched import batched_gibbs_sweep
+from repro.mcmc.hybrid import hybrid_sweep, split_vertices_by_degree
+from repro.mcmc.convergence import ConvergenceMonitor
+
+__all__ = [
+    "VertexDecision",
+    "evaluate_vertex",
+    "metropolis_sweep",
+    "async_gibbs_sweep",
+    "batched_gibbs_sweep",
+    "hybrid_sweep",
+    "split_vertices_by_degree",
+    "ConvergenceMonitor",
+]

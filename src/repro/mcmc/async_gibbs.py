@@ -1,0 +1,72 @@
+"""Asynchronous-Gibbs sweep — the MCMC phase of A-SBP (paper Alg. 3).
+
+All vertices are evaluated against a *frozen* snapshot of the blockmodel
+(the "at most one iteration stale" distribution of §3.1). Accepted moves
+are recorded in a membership vector only; the blockmodel is rebuilt once
+at the end of the sweep. Because the evaluations are independent given
+the frozen state, the evaluation stage is embarrassingly parallel — the
+``backend`` argument decides how it is executed (serial loop, vectorized
+batch, process pool, or simulated threads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.sbm.blockmodel import Blockmodel
+from repro.types import IntArray, SweepStats
+from repro.utils.rng import SweepRandomness
+
+__all__ = ["async_gibbs_sweep"]
+
+
+def async_gibbs_sweep(
+    bm: Blockmodel,
+    graph: Graph,
+    vertices: IntArray,
+    randomness: SweepRandomness,
+    beta: float,
+    backend,
+    record_work: bool = False,
+    rebuild_timer=None,
+) -> SweepStats:
+    """Run one asynchronous-Gibbs pass over ``vertices``, mutating ``bm``.
+
+    ``backend`` must provide
+    ``evaluate_sweep(bm, graph, vertices, uniforms, beta) -> (accepted, targets)``
+    where ``accepted`` is a boolean array and ``targets`` the proposed
+    block per vertex. The frozen-state semantics are guaranteed by the
+    caller passing an un-mutated ``bm`` to the backend and applying all
+    updates afterwards.
+
+    ``rebuild_timer``, when given, accrues the per-sweep blockmodel
+    reconstruction cost (the A-SBP barrier the paper discusses in §3.1).
+    """
+    if len(randomness) < len(vertices):
+        raise ValueError(
+            f"randomness table has {len(randomness)} rows for {len(vertices)} vertices"
+        )
+    uniforms = randomness.uniforms[: len(vertices)]
+    accepted_mask, targets = backend.evaluate_sweep(bm, graph, vertices, uniforms, beta)
+
+    new_assignment = bm.assignment.copy()
+    moved = accepted_mask & (targets != new_assignment[vertices])
+    new_assignment[vertices[moved]] = targets[moved]
+    if rebuild_timer is not None:
+        with rebuild_timer.measure():
+            bm.rebuild(graph, new_assignment)
+    else:
+        bm.rebuild(graph, new_assignment)
+
+    work = None
+    unit = graph.degree[vertices].astype(np.int64) + 1
+    if record_work:
+        work = unit
+    return SweepStats(
+        proposals=int(len(vertices)),
+        accepted=int(moved.sum()),
+        serial_work=0.0,
+        parallel_work=float(unit.sum()),
+        work_per_vertex=work,
+    )

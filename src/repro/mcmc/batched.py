@@ -1,0 +1,76 @@
+"""Batched asynchronous Gibbs — the paper's §6 future-work variant.
+
+The conclusion suggests that "speeding up the graph reconstruction phase
+would also make batched A-SBP possible, which could potentially provide
+similar benefits to H-SBP without the need for synchronous processing."
+
+B-SBP implements that idea: each sweep splits the vertices into
+``num_batches`` contiguous batches; every batch is evaluated in parallel
+against the state frozen at *batch* start, and the blockmodel is rebuilt
+after each batch. Staleness drops from one full sweep (A-SBP) to
+``1/num_batches`` of a sweep, at the cost of proportionally more rebuild
+barriers — and unlike H-SBP, every evaluation remains parallel.
+``num_batches = 1`` degenerates to A-SBP exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.mcmc.async_gibbs import async_gibbs_sweep
+from repro.parallel.partitioner import contiguous_chunks
+from repro.sbm.blockmodel import Blockmodel
+from repro.types import IntArray, SweepStats
+from repro.utils.rng import SweepRandomness
+
+__all__ = ["batched_gibbs_sweep"]
+
+
+def batched_gibbs_sweep(
+    bm: Blockmodel,
+    graph: Graph,
+    vertices: IntArray,
+    randomness: SweepRandomness,
+    beta: float,
+    backend,
+    num_batches: int,
+    record_work: bool = False,
+    rebuild_timer=None,
+) -> SweepStats:
+    """Run one batched asynchronous-Gibbs pass over ``vertices``.
+
+    The randomness table is shared with the plain async sweep: row ``i``
+    still belongs to the ``i``-th vertex of the sweep, so ``num_batches``
+    only changes *when* state is refreshed, not which uniforms drive
+    which vertex.
+    """
+    if num_batches < 1:
+        raise ValueError(f"num_batches must be >= 1, got {num_batches}")
+    if len(randomness) < len(vertices):
+        raise ValueError(
+            f"randomness table has {len(randomness)} rows for {len(vertices)} vertices"
+        )
+
+    total = SweepStats()
+    work_parts: list[np.ndarray] = []
+    for start, stop in contiguous_chunks(len(vertices), num_batches):
+        batch_rand = SweepRandomness(uniforms=randomness.uniforms[start:stop])
+        stats = async_gibbs_sweep(
+            bm,
+            graph,
+            vertices[start:stop],
+            batch_rand,
+            beta,
+            backend,
+            record_work=record_work,
+            rebuild_timer=rebuild_timer,
+        )
+        total.proposals += stats.proposals
+        total.accepted += stats.accepted
+        total.parallel_work += stats.parallel_work
+        if record_work and stats.work_per_vertex is not None:
+            work_parts.append(stats.work_per_vertex)
+    if record_work and work_parts:
+        total.work_per_vertex = np.concatenate(work_parts)
+    return total

@@ -1,0 +1,69 @@
+"""MCMC phase stopping rule (the ``until dMDL < t x MDL or x times`` loop).
+
+All three algorithm variants share the same convergence test (paper
+Algs. 2-4): a phase ends when the magnitude of the MDL change, averaged
+over a short window of sweeps, falls below ``threshold`` times the
+current MDL — or after ``max_sweeps`` sweeps. The windowed average
+(GraphChallenge lineage uses 3 sweeps) filters the sweep-to-sweep noise
+that asynchronous updates introduce.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["ConvergenceMonitor"]
+
+
+class ConvergenceMonitor:
+    """Tracks MDL across sweeps and decides when a phase is converged.
+
+    Parameters
+    ----------
+    threshold:
+        The paper's ``t``: relative MDL-change tolerance.
+    max_sweeps:
+        The paper's ``x``: hard sweep cap per phase.
+    window:
+        Number of most recent sweeps whose |dMDL| is averaged.
+    """
+
+    def __init__(self, threshold: float, max_sweeps: int, window: int = 3) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        if max_sweeps < 1:
+            raise ValueError(f"max_sweeps must be >= 1, got {max_sweeps}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.threshold = threshold
+        self.max_sweeps = max_sweeps
+        self.window = window
+        self._deltas: deque[float] = deque(maxlen=window)
+        self._last_mdl: float | None = None
+        self.sweeps = 0
+
+    def start(self, mdl: float) -> None:
+        """Record the MDL before the first sweep of the phase."""
+        self._last_mdl = mdl
+        self._deltas.clear()
+        self.sweeps = 0
+
+    def update(self, mdl: float) -> bool:
+        """Record a sweep's resulting MDL; returns True when converged."""
+        if self._last_mdl is None:
+            raise RuntimeError("ConvergenceMonitor.update() before start()")
+        self._deltas.append(mdl - self._last_mdl)
+        self._last_mdl = mdl
+        self.sweeps += 1
+        if self.sweeps >= self.max_sweeps:
+            return True
+        if len(self._deltas) < self.window:
+            return False
+        avg_delta = sum(abs(d) for d in self._deltas) / len(self._deltas)
+        return avg_delta < self.threshold * abs(mdl)
+
+    @property
+    def last_mdl(self) -> float:
+        if self._last_mdl is None:
+            raise RuntimeError("monitor not started")
+        return self._last_mdl

@@ -1,0 +1,91 @@
+"""Hybrid sweep — the MCMC phase of H-SBP (paper Alg. 4).
+
+The paper's key insight (§3.2): high-degree vertices are the most
+influential for community detection, and under power-law degree
+distributions there are few of them. H-SBP therefore
+
+1. processes the top-``fraction`` of vertices by degree (``V*``) with a
+   serial in-place Metropolis-Hastings pass, giving the influential
+   vertices a chance to switch first against fully fresh state, then
+2. processes the remaining vertices (``V-``) with the parallel
+   asynchronous-Gibbs pass against the state left by step 1, and
+3. rebuilds the blockmodel from the combined membership vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.mcmc.async_gibbs import async_gibbs_sweep
+from repro.mcmc.metropolis import metropolis_sweep
+from repro.sbm.blockmodel import Blockmodel
+from repro.types import IntArray, SweepStats
+from repro.utils.rng import SweepRandomness
+
+__all__ = ["split_vertices_by_degree", "hybrid_sweep"]
+
+
+def split_vertices_by_degree(
+    graph: Graph, fraction: float
+) -> tuple[IntArray, IntArray]:
+    """Partition vertices into (V*, V-) by total degree.
+
+    ``V*`` holds the ``ceil(fraction * V)`` highest-degree vertices (the
+    paper reserves 15%), sorted by descending degree with vertex id as a
+    deterministic tie-break; ``V-`` holds the rest in ascending id order.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must lie in [0, 1], got {fraction}")
+    num_vertices = graph.num_vertices
+    count = int(np.ceil(fraction * num_vertices))
+    if count == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.arange(num_vertices, dtype=np.int64),
+        )
+    # argsort on (-degree, id): stable sort on ids is implicit since
+    # np.argsort(kind="stable") preserves index order within ties.
+    order = np.argsort(-graph.degree, kind="stable")
+    vstar = order[:count].astype(np.int64)
+    vminus = np.setdiff1d(
+        np.arange(num_vertices, dtype=np.int64), vstar, assume_unique=True
+    )
+    return vstar, vminus
+
+
+def hybrid_sweep(
+    bm: Blockmodel,
+    graph: Graph,
+    vstar: IntArray,
+    vminus: IntArray,
+    randomness_serial: SweepRandomness,
+    randomness_async: SweepRandomness,
+    beta: float,
+    backend,
+    record_work: bool = False,
+    rebuild_timer=None,
+) -> SweepStats:
+    """Run one hybrid H-SBP sweep, mutating ``bm``.
+
+    Returns combined statistics; ``serial_work`` covers the V* pass and
+    ``parallel_work`` the V- pass, which is what the simulated thread
+    executor needs to model Amdahl behaviour (Fig. 7).
+    """
+    serial_stats = metropolis_sweep(
+        bm, graph, vstar, randomness_serial, beta, record_work=record_work
+    )
+    async_stats = async_gibbs_sweep(
+        bm, graph, vminus, randomness_async, beta, backend,
+        record_work=record_work, rebuild_timer=rebuild_timer,
+    )
+    work = None
+    if record_work:
+        work = async_stats.work_per_vertex
+    return SweepStats(
+        proposals=serial_stats.proposals + async_stats.proposals,
+        accepted=serial_stats.accepted + async_stats.accepted,
+        serial_work=serial_stats.serial_work,
+        parallel_work=async_stats.parallel_work,
+        work_per_vertex=work,
+    )

@@ -1,0 +1,73 @@
+"""Serial Metropolis-Hastings sweep — the MCMC phase of classic SBP.
+
+Paper Alg. 2: vertices are visited one at a time; every accepted move
+updates the blockmodel *in place*, so each subsequent proposal sees the
+fully up-to-date state. This is the inherently serial chain the paper
+sets out to parallelize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.mcmc.evaluate import evaluate_vertex
+from repro.sbm.blockmodel import Blockmodel
+from repro.types import IntArray, SweepStats
+from repro.utils.rng import SweepRandomness
+
+__all__ = ["metropolis_sweep"]
+
+
+def metropolis_sweep(
+    bm: Blockmodel,
+    graph: Graph,
+    vertices: IntArray,
+    randomness: SweepRandomness,
+    beta: float,
+    record_work: bool = False,
+) -> SweepStats:
+    """Run one serial MH pass over ``vertices``, mutating ``bm``.
+
+    Returns sweep statistics; ``delta_mdl`` is left at 0 here (the phase
+    driver tracks full MDL between sweeps, which also captures the model
+    complexity terms).
+    """
+    if len(randomness) < len(vertices):
+        raise ValueError(
+            f"randomness table has {len(randomness)} rows for {len(vertices)} vertices"
+        )
+    accepted = 0
+    work = np.zeros(len(vertices), dtype=np.int64) if record_work else None
+    uniforms = randomness.uniforms
+    degree = graph.degree
+    total_work = 0
+    for i, v in enumerate(vertices):
+        v = int(v)
+        decision = evaluate_vertex(bm, graph, v, uniforms[i], beta)
+        unit = int(degree[v]) + 1
+        total_work += unit
+        if work is not None:
+            work[i] = unit
+        if decision.is_move:
+            ctx = decision.context
+            assert ctx is not None
+            bm.apply_move(
+                v,
+                decision.target,
+                ctx.t_out,
+                ctx.c_out,
+                ctx.t_in,
+                ctx.c_in,
+                ctx.loops,
+                ctx.deg_out,
+                ctx.deg_in,
+            )
+            accepted += 1
+    return SweepStats(
+        proposals=len(vertices),
+        accepted=accepted,
+        serial_work=float(total_work),
+        parallel_work=0.0,
+        work_per_vertex=work,
+    )

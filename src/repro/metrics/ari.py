@@ -1,0 +1,47 @@
+"""Adjusted Rand index — a permutation-invariant partition similarity.
+
+Complements NMI for scoring against ground truth: ARI is chance-adjusted
+(expected value 0 for independent labelings, 1 for identical partitions)
+and is the other standard score in the community-detection literature.
+Computed from the contingency table in O(|X| * |Y|).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.nmi import contingency_table
+from repro.types import Assignment
+
+__all__ = ["adjusted_rand_index"]
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    """Elementwise n-choose-2 as float."""
+    x = x.astype(np.float64)
+    return x * (x - 1.0) / 2.0
+
+
+def adjusted_rand_index(x: Assignment, y: Assignment) -> float:
+    """ARI between two labelings of the same vertex set.
+
+    Follows Hubert & Arabie:
+    ``(index - expected) / (max_index - expected)``. Degenerate cases:
+    two identical single-cluster (or all-singleton) labelings score 1.0.
+    """
+    table = contingency_table(x, y)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+    sum_cells = _comb2(table).sum()
+    sum_rows = _comb2(table.sum(axis=1)).sum()
+    sum_cols = _comb2(table.sum(axis=0)).sum()
+    total_pairs = float(n * (n - 1) / 2.0)
+    expected = sum_rows * sum_cols / total_pairs
+    max_index = 0.5 * (sum_rows + sum_cols)
+    denom = max_index - expected
+    if denom == 0.0:
+        # both labelings are trivial (all-one-cluster or all-singletons):
+        # identical by construction of the degenerate case.
+        return 1.0
+    return float((sum_cells - expected) / denom)

@@ -1,0 +1,37 @@
+"""Newman's modularity for directed multigraphs.
+
+The paper reports modularity "for the sake of completeness" on the
+real-world graphs (Fig. 5b), while cautioning that it correlates with
+NMI less strongly than normalized MDL (Fig. 3). The directed form is
+
+    Q = sum_c [ E_cc / E  -  (d_out_c / E) * (d_in_c / E) ]
+
+where E_cc counts intra-community edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.sbm.blockmodel import Blockmodel
+from repro.types import Assignment
+
+__all__ = ["directed_modularity"]
+
+
+def directed_modularity(graph: Graph, assignment: Assignment) -> float:
+    """Directed Newman modularity of ``assignment`` on ``graph``."""
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (graph.num_vertices,):
+        raise ValueError(
+            f"assignment must have shape ({graph.num_vertices},), got {assignment.shape}"
+        )
+    E = graph.num_edges
+    if E == 0:
+        return 0.0
+    bm = Blockmodel.from_assignment(graph, assignment)
+    intra = np.diag(bm.B).astype(np.float64)
+    d_out = bm.d_out.astype(np.float64)
+    d_in = bm.d_in.astype(np.float64)
+    return float((intra / E - (d_out / E) * (d_in / E)).sum())

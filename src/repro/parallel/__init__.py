@@ -1,0 +1,40 @@
+"""Parallel execution backends for the asynchronous-Gibbs sweep.
+
+The evaluation stage of an A-SBP sweep is embarrassingly parallel given
+the frozen blockmodel (paper §3.1). This package provides
+interchangeable executors for that stage:
+
+* :class:`SerialBackend` — the reference per-vertex loop,
+* :class:`VectorizedBackend` — whole-sweep numpy batch evaluation (the
+  fast path on a single core; computationally identical to what OpenMP
+  threads do in the authors' C++ implementation),
+* :class:`ProcessPoolBackend` — fork-based shared-memory worker pool
+  (lock-free reads of the frozen state, as in the paper's design),
+* :mod:`repro.parallel.simulate` — a calibrated p-thread execution model
+  used to reproduce the strong-scaling experiment (Fig. 7) without a
+  128-core machine.
+
+All backends produce identical accept/reject decisions for a given seed
+because the per-sweep randomness is pre-drawn in vertex order
+(:mod:`repro.utils.rng`).
+"""
+
+from repro.parallel.backend import ExecutionBackend, get_backend, available_backends
+from repro.parallel.serial import SerialBackend
+from repro.parallel.vectorized import VectorizedBackend
+from repro.parallel.processpool import ProcessPoolBackend
+from repro.parallel.partitioner import contiguous_chunks, balanced_chunks
+from repro.parallel.simulate import SimulatedThreadModel, simulate_sweep_seconds
+
+__all__ = [
+    "ExecutionBackend",
+    "get_backend",
+    "available_backends",
+    "SerialBackend",
+    "VectorizedBackend",
+    "ProcessPoolBackend",
+    "contiguous_chunks",
+    "balanced_chunks",
+    "SimulatedThreadModel",
+    "simulate_sweep_seconds",
+]

@@ -1,0 +1,80 @@
+"""Backend protocol and registry."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import BackendError
+from repro.graph.graph import Graph
+from repro.sbm.blockmodel import Blockmodel
+from repro.types import IntArray
+
+__all__ = ["ExecutionBackend", "register_backend", "get_backend", "available_backends"]
+
+
+class ExecutionBackend(ABC):
+    """Evaluates one asynchronous-Gibbs sweep against a frozen blockmodel.
+
+    Implementations MUST NOT mutate ``bm`` or ``graph``; they return the
+    per-vertex decisions and the caller applies them (Alg. 3's
+    membership-vector update followed by the rebuild).
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def evaluate_sweep(
+        self,
+        bm: Blockmodel,
+        graph: Graph,
+        vertices: IntArray,
+        uniforms: np.ndarray,
+        beta: float,
+    ) -> tuple[np.ndarray, IntArray]:
+        """Return ``(accepted, targets)`` arrays aligned with ``vertices``.
+
+        ``accepted[i]`` is True when vertex ``vertices[i]`` should move
+        to block ``targets[i]``; for rejected proposals ``targets[i]``
+        is the proposed (unused) block.
+        """
+
+    def close(self) -> None:
+        """Release resources (worker pools); idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+_REGISTRY: dict[str, Callable[..., ExecutionBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., ExecutionBackend]) -> None:
+    """Register a backend factory under ``name`` (used by plugins/tests)."""
+    if name in _REGISTRY:
+        raise BackendError(f"backend {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_backend(name: str, **kwargs) -> ExecutionBackend:
+    """Instantiate a backend by name: 'serial', 'vectorized' or 'process'."""
+    # Import side registers the built-ins lazily to avoid import cycles.
+    from repro.parallel import serial, vectorized, processpool  # noqa: F401
+
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise BackendError(
+            f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return factory(**kwargs)
+
+
+def available_backends() -> list[str]:
+    from repro.parallel import serial, vectorized, processpool  # noqa: F401
+
+    return sorted(_REGISTRY)

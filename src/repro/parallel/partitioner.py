@@ -1,0 +1,78 @@
+"""Work partitioning strategies for sweep execution and simulation.
+
+OpenMP's default ``schedule(static)`` hands each thread one contiguous
+range of iterations; with power-law degree distributions the induced
+load imbalance is what makes the paper's strong-scaling curve (Fig. 7)
+taper past 8-16 threads. We model exactly that here, plus a
+weight-balanced alternative used for the load-balancing ablation the
+paper calls "a non-trivial endeavor and out of the scope of this paper".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import IntArray
+
+__all__ = ["contiguous_chunks", "balanced_chunks", "chunk_loads"]
+
+
+def contiguous_chunks(count: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(count)`` into ``parts`` contiguous (start, stop) spans.
+
+    Matches OpenMP ``schedule(static)``: spans differ in size by at most
+    one; empty spans are omitted.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    base = count // parts
+    extra = count % parts
+    chunks: list[tuple[int, int]] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            continue
+        chunks.append((start, start + size))
+        start += size
+    return chunks
+
+
+def balanced_chunks(weights: np.ndarray, parts: int) -> list[IntArray]:
+    """Greedy longest-processing-time assignment of items to ``parts`` bins.
+
+    Returns per-bin index arrays. Used by the load-balancing ablation:
+    items sorted by descending weight, each assigned to the currently
+    lightest bin.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    weights = np.asarray(weights, dtype=np.float64)
+    order = np.argsort(-weights, kind="stable")
+    loads = np.zeros(parts, dtype=np.float64)
+    bins: list[list[int]] = [[] for _ in range(parts)]
+    for idx in order:
+        target = int(np.argmin(loads))
+        bins[target].append(int(idx))
+        loads[target] += weights[idx]
+    return [np.asarray(b, dtype=np.int64) for b in bins]
+
+
+def chunk_loads(weights: np.ndarray, parts: int, schedule: str = "static") -> np.ndarray:
+    """Total weight per bin under the given schedule.
+
+    ``schedule='static'`` uses contiguous spans, ``'balanced'`` the
+    greedy LPT assignment. The max entry is the parallel-section makespan.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if schedule == "static":
+        loads = [
+            float(weights[start:stop].sum())
+            for start, stop in contiguous_chunks(weights.shape[0], parts)
+        ]
+        loads.extend([0.0] * (parts - len(loads)))
+        return np.asarray(loads, dtype=np.float64)
+    if schedule == "balanced":
+        bins = balanced_chunks(weights, parts)
+        return np.asarray([float(weights[b].sum()) for b in bins], dtype=np.float64)
+    raise ValueError(f"unknown schedule {schedule!r}")

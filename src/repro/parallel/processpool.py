@@ -1,0 +1,112 @@
+"""Fork-based shared-memory worker pool for the async-Gibbs sweep.
+
+This is the closest Python analogue of the paper's OpenMP design: the
+frozen blockmodel and the graph CSR arrays live in memory shared by all
+workers (copy-on-write pages after ``fork``), workers read them without
+locks, and each worker evaluates a contiguous chunk of the sweep's
+vertices. Because evaluations never write shared state, the result is
+bit-identical to :class:`~repro.parallel.serial.SerialBackend` — which
+is exactly the property asynchronous Gibbs exploits.
+
+The GIL prevents *thread*-level speedups in pure Python (the repro
+calibration note for this paper says as much), so this backend exists
+for fidelity and correctness testing; the measured fast path is the
+vectorized backend and the 128-thread figures come from the simulated
+executor (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+
+from repro.errors import BackendError
+from repro.graph.graph import Graph
+from repro.parallel.backend import ExecutionBackend, register_backend
+from repro.parallel.partitioner import contiguous_chunks
+from repro.sbm.blockmodel import Blockmodel
+from repro.types import IntArray
+
+__all__ = ["ProcessPoolBackend"]
+
+# Worker-side state, inherited through fork at pool creation time.
+_WORKER_STATE: dict[str, object] = {}
+
+
+def _worker_evaluate(args: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate vertices [start, stop) of the sweep inside a worker."""
+    from repro.mcmc.evaluate import evaluate_vertex
+
+    start, stop = args
+    bm: Blockmodel = _WORKER_STATE["bm"]  # type: ignore[assignment]
+    graph: Graph = _WORKER_STATE["graph"]  # type: ignore[assignment]
+    vertices: IntArray = _WORKER_STATE["vertices"]  # type: ignore[assignment]
+    uniforms: np.ndarray = _WORKER_STATE["uniforms"]  # type: ignore[assignment]
+    beta: float = _WORKER_STATE["beta"]  # type: ignore[assignment]
+
+    accepted = np.zeros(stop - start, dtype=bool)
+    targets = np.empty(stop - start, dtype=np.int64)
+    for i in range(start, stop):
+        decision = evaluate_vertex(bm, graph, int(vertices[i]), uniforms[i], beta)
+        accepted[i - start] = decision.accepted
+        targets[i - start] = decision.target
+    return accepted, targets
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Evaluate sweep chunks across forked worker processes.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker process count; defaults to the CPU count.
+    min_chunk:
+        Sweeps smaller than ``num_workers * min_chunk`` fall back to the
+        in-process serial loop — fork/IPC overhead would dominate.
+    """
+
+    name = "process"
+
+    def __init__(self, num_workers: int | None = None, min_chunk: int = 64) -> None:
+        if "fork" not in mp.get_all_start_methods():
+            raise BackendError("ProcessPoolBackend requires the 'fork' start method")
+        self.num_workers = num_workers or os.cpu_count() or 1
+        if self.num_workers < 1:
+            raise BackendError(f"num_workers must be >= 1, got {num_workers}")
+        self.min_chunk = min_chunk
+
+    def evaluate_sweep(
+        self,
+        bm: Blockmodel,
+        graph: Graph,
+        vertices: IntArray,
+        uniforms: np.ndarray,
+        beta: float,
+    ) -> tuple[np.ndarray, IntArray]:
+        count = len(vertices)
+        if self.num_workers == 1 or count < self.num_workers * self.min_chunk:
+            from repro.parallel.serial import SerialBackend
+
+            return SerialBackend().evaluate_sweep(bm, graph, vertices, uniforms, beta)
+
+        # Publish the frozen state, then fork: children inherit the arrays
+        # as shared copy-on-write pages — no pickling of B or the CSR.
+        _WORKER_STATE.update(
+            bm=bm, graph=graph, vertices=vertices, uniforms=uniforms, beta=beta
+        )
+        try:
+            ctx = mp.get_context("fork")
+            chunks = contiguous_chunks(count, self.num_workers)
+            with ctx.Pool(processes=self.num_workers) as pool:
+                parts = pool.map(_worker_evaluate, chunks)
+        finally:
+            _WORKER_STATE.clear()
+
+        accepted = np.concatenate([p[0] for p in parts])
+        targets = np.concatenate([p[1] for p in parts])
+        return accepted, targets
+
+
+register_backend("process", ProcessPoolBackend)

@@ -1,0 +1,37 @@
+"""Degree-corrected stochastic blockmodel state and MDL computations."""
+
+from repro.sbm.blockmodel import Blockmodel
+from repro.sbm.entropy import (
+    xlogx,
+    h_binary,
+    dcsbm_log_likelihood,
+    description_length,
+    null_description_length,
+    normalized_description_length,
+)
+from repro.sbm.delta import (
+    VertexMoveContext,
+    vertex_move_context,
+    vertex_move_delta,
+    hastings_correction,
+    merge_delta,
+)
+from repro.sbm.moves import propose_vertex_move, propose_block_merge, accept_probability
+
+__all__ = [
+    "Blockmodel",
+    "xlogx",
+    "h_binary",
+    "dcsbm_log_likelihood",
+    "description_length",
+    "null_description_length",
+    "normalized_description_length",
+    "VertexMoveContext",
+    "vertex_move_context",
+    "vertex_move_delta",
+    "hastings_correction",
+    "merge_delta",
+    "propose_vertex_move",
+    "propose_block_merge",
+    "accept_probability",
+]

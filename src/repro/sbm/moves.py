@@ -1,0 +1,113 @@
+"""Proposal distributions and the Metropolis-Hastings acceptance rule.
+
+Both SBP phases share the neighbour-guided proposal of the
+GraphChallenge SBP lineage (Kao et al. 2017, Peixoto 2014): to propose a
+new block for an entity currently in block ``r``,
+
+1. pick a uniformly random incident edge and read its far endpoint's
+   block ``u``;
+2. with probability ``C / (d_u + C)`` propose a uniformly random block
+   (exploration; dominates when ``u`` is weakly connected);
+3. otherwise draw ``s`` from the multinomial ``(B[u, :] + B[:, u]) / d_u``
+   (exploitation: blocks well-connected to ``u`` are likely).
+
+All randomness is consumed from a pre-drawn uniform row (see
+:mod:`repro.utils.rng`), which keeps every backend's decisions identical.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.sbm.blockmodel import Blockmodel
+
+__all__ = [
+    "propose_vertex_move",
+    "propose_block_merge",
+    "accept_probability",
+    "MAX_EXPONENT",
+]
+
+#: exp() argument clamp to avoid overflow; exp(700) ~ 1e304.
+MAX_EXPONENT = 700.0
+
+
+def propose_vertex_move(
+    bm: Blockmodel, graph: Graph, v: int, uniforms: np.ndarray
+) -> int:
+    """Propose a block for vertex ``v``; may return its current block.
+
+    ``uniforms`` is one row of a :class:`~repro.utils.rng.SweepRandomness`
+    table (5 uniforms: edge pick, mixture, multinomial, uniform block,
+    accept — the last is consumed by the caller).
+    """
+    C = bm.num_blocks
+    degree = int(graph.degree[v])
+    if degree == 0:
+        return int(uniforms[3] * C)
+    incident = graph.incident_neighbors(v)
+    neighbor = int(incident[int(uniforms[0] * degree)])
+    u = int(bm.assignment[neighbor])
+    d_u = int(bm.d[u])
+    if uniforms[1] < C / (d_u + C):
+        return int(uniforms[3] * C)
+    weights = bm.B[u, :] + bm.B[:, u]
+    return _inverse_cdf_draw(weights, uniforms[2], fallback=int(uniforms[3] * C))
+
+
+def propose_block_merge(bm: Blockmodel, r: int, uniforms: np.ndarray) -> int:
+    """Propose a block to merge block ``r`` into (never returns ``r``).
+
+    Block-level analogue of :func:`propose_vertex_move`: the "incident
+    edges" of block r are the entries of row/column r of B.
+    """
+    C = bm.num_blocks
+    if C <= 1:
+        raise ValueError("cannot propose a merge with fewer than two blocks")
+    incident = bm.B[r, :] + bm.B[:, r]
+    d_r = int(incident.sum())
+    if d_r == 0:
+        return _uniform_other(C, r, uniforms[3])
+    u = _inverse_cdf_draw(incident, uniforms[0], fallback=_uniform_other(C, r, uniforms[3]))
+    d_u = int(bm.d[u])
+    if uniforms[1] < C / (d_u + C):
+        return _uniform_other(C, r, uniforms[3])
+    weights = bm.B[u, :] + bm.B[:, u]
+    s = _inverse_cdf_draw(weights, uniforms[2], fallback=_uniform_other(C, r, uniforms[3]))
+    if s == r:
+        return _uniform_other(C, r, uniforms[3])
+    return s
+
+
+def accept_probability(delta_s: float, hastings: float, beta: float) -> float:
+    """Metropolis-Hastings acceptance probability.
+
+    ``min(1, exp(-beta * dS) * hastings)`` — dS is the MDL change
+    (negative improves), hastings the proposal-asymmetry correction.
+    """
+    if hastings <= 0.0:
+        return 0.0
+    exponent = -beta * delta_s + math.log(hastings)
+    if exponent >= 0.0:
+        return 1.0
+    if exponent < -MAX_EXPONENT:
+        return 0.0
+    return math.exp(exponent)
+
+
+def _inverse_cdf_draw(weights: np.ndarray, uniform: float, fallback: int) -> int:
+    """Draw an index proportionally to non-negative integer ``weights``."""
+    cdf = np.cumsum(weights)
+    total = int(cdf[-1]) if cdf.size else 0
+    if total <= 0:
+        return fallback
+    return int(np.searchsorted(cdf, uniform * total, side="right"))
+
+
+def _uniform_other(C: int, r: int, uniform: float) -> int:
+    """Uniform draw over the C - 1 blocks different from ``r``."""
+    s = int(uniform * (C - 1))
+    return s + 1 if s >= r else s

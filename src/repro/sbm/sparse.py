@@ -1,0 +1,221 @@
+"""Sparse inter-block matrix — the §6 data-structure study.
+
+The paper's conclusion suggests "utilizing data structures that are more
+suited to repeated reconstruction" for the blockmodel. Our inference
+path uses a dense ``B`` (optimal at reproduction scale, DESIGN.md §5);
+this module provides the sparse alternative a large-C deployment would
+use — a dict-of-rows matrix with mirrored column index — implementing
+the exact operation set the blockmodel needs:
+
+* cell reads and batched row/column gathers,
+* the O(degree) move update,
+* block merges,
+* full reconstruction from an edge list,
+* densification (for interop and testing).
+
+Property tests pin sparse behaviour to the dense oracle, and the
+``bench_extension_sparse_storage`` target measures where the crossover
+between the two representations sits.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.errors import BlockmodelError
+from repro.types import IntArray
+
+__all__ = ["SparseBlockMatrix"]
+
+
+class SparseBlockMatrix:
+    """C x C integer matrix stored as row and column hash maps.
+
+    Both orientations are maintained so row *and* column gathers are
+    O(nnz(row)) — the access pattern of the delta-MDL kernels. All
+    mutations keep the two mirrors consistent; zero entries are evicted
+    eagerly so iteration cost tracks the true support.
+    """
+
+    __slots__ = ("num_blocks", "_rows", "_cols")
+
+    def __init__(self, num_blocks: int) -> None:
+        if num_blocks < 1:
+            raise BlockmodelError(f"num_blocks must be >= 1, got {num_blocks}")
+        self.num_blocks = num_blocks
+        self._rows: dict[int, dict[int, int]] = defaultdict(dict)
+        self._cols: dict[int, dict[int, int]] = defaultdict(dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, src_blocks: IntArray, dst_blocks: IntArray, num_blocks: int
+    ) -> "SparseBlockMatrix":
+        """Count block-pair occurrences from parallel edge-block arrays."""
+        matrix = cls(num_blocks)
+        if len(src_blocks) != len(dst_blocks):
+            raise BlockmodelError("src/dst block arrays must have equal length")
+        if len(src_blocks):
+            keys = np.asarray(src_blocks, dtype=np.int64) * num_blocks + np.asarray(
+                dst_blocks, dtype=np.int64
+            )
+            unique, counts = np.unique(keys, return_counts=True)
+            for key, count in zip(unique.tolist(), counts.tolist()):
+                matrix._set(key // num_blocks, key % num_blocks, count)
+        return matrix
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "SparseBlockMatrix":
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise BlockmodelError(f"dense matrix must be square, got {dense.shape}")
+        matrix = cls(dense.shape[0])
+        rows, cols = np.nonzero(dense)
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            matrix._set(r, c, int(dense[r, c]))
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Element access
+    # ------------------------------------------------------------------
+    def get(self, r: int, c: int) -> int:
+        return self._rows.get(r, {}).get(c, 0)
+
+    def add(self, r: int, c: int, delta: int) -> None:
+        """Add ``delta`` to cell (r, c); negative totals are an error."""
+        if delta == 0:
+            return
+        value = self.get(r, c) + delta
+        if value < 0:
+            raise BlockmodelError(
+                f"cell ({r}, {c}) would go negative ({value})"
+            )
+        self._set(r, c, value)
+
+    def _set(self, r: int, c: int, value: int) -> None:
+        if not (0 <= r < self.num_blocks and 0 <= c < self.num_blocks):
+            raise BlockmodelError(f"cell ({r}, {c}) out of range")
+        if value == 0:
+            self._rows.get(r, {}).pop(c, None)
+            self._cols.get(c, {}).pop(r, None)
+        else:
+            self._rows[r][c] = value
+            self._cols[c][r] = value
+
+    # ------------------------------------------------------------------
+    # Batched views (what the delta kernels gather)
+    # ------------------------------------------------------------------
+    def row_items(self, r: int) -> tuple[IntArray, IntArray]:
+        """Sorted (columns, values) of row ``r``'s support."""
+        row = self._rows.get(r, {})
+        if not row:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        cols = np.asarray(sorted(row), dtype=np.int64)
+        vals = np.asarray([row[int(c)] for c in cols], dtype=np.int64)
+        return cols, vals
+
+    def col_items(self, c: int) -> tuple[IntArray, IntArray]:
+        """Sorted (rows, values) of column ``c``'s support."""
+        col = self._cols.get(c, {})
+        if not col:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        rows = np.asarray(sorted(col), dtype=np.int64)
+        vals = np.asarray([col[int(r)] for r in rows], dtype=np.int64)
+        return rows, vals
+
+    def gather(self, rows: IntArray, cols: IntArray) -> IntArray:
+        """Vectorized-ish multi-cell read (the B[r, t] gather)."""
+        return np.asarray(
+            [self.get(int(r), int(c)) for r, c in zip(rows, cols)],
+            dtype=np.int64,
+        )
+
+    def row_sum(self, r: int) -> int:
+        return sum(self._rows.get(r, {}).values())
+
+    def col_sum(self, c: int) -> int:
+        return sum(self._cols.get(c, {}).values())
+
+    # ------------------------------------------------------------------
+    # Blockmodel operations
+    # ------------------------------------------------------------------
+    def apply_move(
+        self,
+        r: int,
+        s: int,
+        t_out: IntArray,
+        c_out: IntArray,
+        t_in: IntArray,
+        c_in: IntArray,
+        loops: int,
+    ) -> None:
+        """The O(degree) vertex-move update (mirrors Blockmodel.apply_move)."""
+        for t, c in zip(t_out.tolist(), c_out.tolist()):
+            self.add(r, t, -c)
+            self.add(s, t, c)
+        for t, c in zip(t_in.tolist(), c_in.tolist()):
+            self.add(t, r, -c)
+            self.add(t, s, c)
+        if loops:
+            self.add(r, r, -loops)
+            self.add(s, s, loops)
+
+    def merge_into(self, r: int, s: int) -> None:
+        """Merge block r into s: row/col r folded into row/col s."""
+        if r == s:
+            raise BlockmodelError("cannot merge a block with itself")
+        row_r = dict(self._rows.get(r, {}))
+        for c, value in row_r.items():
+            self.add(r, c, -value)
+            target_col = s if c == r else c
+            self.add(s, target_col, value)
+        col_r = dict(self._cols.get(r, {}))
+        for row, value in col_r.items():
+            self.add(row, r, -value)
+            target_row = s if row == r else row
+            self.add(target_row, s, value)
+
+    # ------------------------------------------------------------------
+    # Interop / stats
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros((self.num_blocks, self.num_blocks), dtype=np.int64)
+        for r, row in self._rows.items():
+            for c, value in row.items():
+                dense[r, c] = value
+        return dense
+
+    @property
+    def nnz(self) -> int:
+        return sum(len(row) for row in self._rows.values())
+
+    @property
+    def total(self) -> int:
+        return sum(sum(row.values()) for row in self._rows.values())
+
+    @property
+    def fill_fraction(self) -> float:
+        return self.nnz / float(self.num_blocks) ** 2
+
+    def memory_bytes(self) -> int:
+        """Rough live-entry footprint: two mirrored (key, value) maps."""
+        # ~3 machine words per dict slot is a conservative hash-map model
+        return self.nnz * 2 * 3 * 8
+
+    def check_mirror_consistency(self) -> None:
+        """Invariant: the row and column maps describe the same matrix."""
+        from_rows = {(r, c): v for r, row in self._rows.items() for c, v in row.items()}
+        from_cols = {(r, c): v for c, col in self._cols.items() for r, v in col.items()}
+        if from_rows != from_cols:
+            raise BlockmodelError("row/column mirrors diverged")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SparseBlockMatrix(C={self.num_blocks}, nnz={self.nnz}, "
+            f"fill={self.fill_fraction:.3f})"
+        )

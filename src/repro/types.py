@@ -1,0 +1,100 @@
+"""Shared type aliases and small dataclasses used across the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TypeAlias
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = [
+    "IntArray",
+    "FloatArray",
+    "Assignment",
+    "EdgeList",
+    "PhaseTimings",
+    "SweepStats",
+]
+
+#: 1-D or 2-D array of integer counts / indices.
+IntArray: TypeAlias = npt.NDArray[np.int64]
+
+#: 1-D or 2-D array of floats.
+FloatArray: TypeAlias = npt.NDArray[np.float64]
+
+#: Community membership vector: ``assignment[v]`` is the block of vertex v.
+Assignment: TypeAlias = npt.NDArray[np.int64]
+
+#: Edge list of shape (E, 2) with columns (source, target).
+EdgeList: TypeAlias = npt.NDArray[np.int64]
+
+
+@dataclass
+class PhaseTimings:
+    """Accumulated wall-clock time per algorithm phase, in seconds.
+
+    The ICPP'22 paper reports its Fig. 2 breakdown (MCMC vs block-merge +
+    other) and all speedup numbers from exactly these accumulators.
+    """
+
+    block_merge: float = 0.0
+    mcmc: float = 0.0
+    rebuild: float = 0.0
+    other: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.block_merge + self.mcmc + self.rebuild + self.other
+
+    @property
+    def mcmc_fraction(self) -> float:
+        """Fraction of total runtime spent in the MCMC phase (Fig. 2)."""
+        total = self.total
+        if total <= 0.0:
+            return 0.0
+        return (self.mcmc + self.rebuild) / total
+
+    def merged_with(self, other: "PhaseTimings") -> "PhaseTimings":
+        return PhaseTimings(
+            block_merge=self.block_merge + other.block_merge,
+            mcmc=self.mcmc + other.mcmc,
+            rebuild=self.rebuild + other.rebuild,
+            other=self.other + other.other,
+        )
+
+
+@dataclass
+class SweepStats:
+    """Per-sweep bookkeeping emitted by the MCMC kernels.
+
+    Attributes
+    ----------
+    proposals:
+        Number of vertex moves proposed during the sweep.
+    accepted:
+        Number of proposals accepted.
+    delta_mdl:
+        Change in full MDL over the sweep (new - old); negative is better.
+    serial_work:
+        Work units (degree-weighted proposal evaluations) executed in the
+        inherently serial portion of the sweep.
+    parallel_work:
+        Work units executed in the parallelizable portion of the sweep.
+    work_per_vertex:
+        Optional per-vertex work-unit vector for the parallel portion,
+        consumed by the simulated thread executor (Fig. 7).
+    """
+
+    proposals: int = 0
+    accepted: int = 0
+    delta_mdl: float = 0.0
+    serial_work: float = 0.0
+    parallel_work: float = 0.0
+    work_per_vertex: IntArray | None = field(default=None, repr=False)
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.proposals == 0:
+            return 0.0
+        return self.accepted / self.proposals

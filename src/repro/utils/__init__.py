@@ -1,0 +1,23 @@
+"""Utility layer: seeded RNG streams, timers, logging and validation."""
+
+from repro.utils.rng import SweepRandomness, philox_stream, spawn_seeds
+from repro.utils.log import get_logger, configure_logging
+from repro.utils.timer import Timer, StopwatchPool
+from repro.utils.validation import (
+    check_nonnegative_int,
+    check_probability,
+    check_positive,
+)
+
+__all__ = [
+    "SweepRandomness",
+    "philox_stream",
+    "spawn_seeds",
+    "get_logger",
+    "configure_logging",
+    "Timer",
+    "StopwatchPool",
+    "check_nonnegative_int",
+    "check_probability",
+    "check_positive",
+]

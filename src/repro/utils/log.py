@@ -1,0 +1,52 @@
+"""Structured run logging for the inference drivers.
+
+All library logging goes through the ``repro`` logger hierarchy and is
+silent by default (a ``NullHandler`` on the root of the hierarchy, per
+library best practice). Applications opt in with
+:func:`configure_logging` or their own handler configuration.
+
+The drivers emit:
+
+* ``INFO`` — one line per agglomerative iteration (block count, MDL,
+  sweeps), and the final result line;
+* ``DEBUG`` — per-phase timings.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure_logging"]
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Logger under the ``repro`` hierarchy (e.g. ``repro.core.sbp``)."""
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(level: int | str = logging.INFO) -> logging.Logger:
+    """Attach a formatted stderr handler to the ``repro`` logger.
+
+    Idempotent: calling again only adjusts the level.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    has_stream = any(
+        isinstance(h, logging.StreamHandler) and not isinstance(h, logging.NullHandler)
+        for h in logger.handlers
+    )
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

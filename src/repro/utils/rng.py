@@ -1,0 +1,95 @@
+"""Counter-based random-number streams for reproducible parallel MCMC.
+
+The asynchronous-Gibbs sweeps of A-SBP and H-SBP may run on the serial,
+vectorized or process-pool backend. For the backends to be testable
+against each other, every backend must make *identical* accept/reject
+decisions. We achieve this the way counter-based HPC RNGs (Philox) are
+meant to be used: the randomness a sweep needs is a pure function of
+``(seed, phase, sweep)`` and is laid out *in vertex order* ahead of time,
+so the execution order of the workers cannot change the chain.
+
+Each vertex consumes a fixed budget of uniforms per sweep (see
+:class:`SweepRandomness`); slicing the pre-drawn table per worker chunk
+is therefore trivial and allocation-free for the consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "UNIFORMS_PER_VERTEX",
+    "philox_stream",
+    "spawn_seeds",
+    "SweepRandomness",
+]
+
+#: Uniform draws consumed per vertex per sweep:
+#: 0: incident-edge pick, 1: uniform-vs-multinomial mixture,
+#: 2: multinomial inverse-CDF draw, 3: uniform fallback block,
+#: 4: Metropolis-Hastings accept draw.
+UNIFORMS_PER_VERTEX = 5
+
+
+def philox_stream(seed: int, *counters: int) -> np.random.Generator:
+    """Return a Generator on a Philox stream keyed by ``seed`` + counters.
+
+    Distinct ``counters`` tuples yield statistically independent streams,
+    which is what makes per-(phase, sweep) randomness reproducible no
+    matter which backend executes the sweep.
+    """
+    key = np.uint64(seed & 0xFFFF_FFFF_FFFF_FFFF)
+    # Philox-4x64 takes a 2-word key; fold the counters into the second word
+    # and the 4-word counter block.
+    folded = 0
+    for i, c in enumerate(counters):
+        folded ^= (int(c) & 0xFFFF_FFFF_FFFF_FFFF) * (0x9E37_79B9_7F4A_7C15 + 2 * i + 1)
+        folded &= 0xFFFF_FFFF_FFFF_FFFF
+    bitgen = np.random.Philox(key=[key, np.uint64(folded)])
+    return np.random.Generator(bitgen)
+
+
+def spawn_seeds(seed: int, count: int) -> list[int]:
+    """Derive ``count`` independent 63-bit seeds from a master seed.
+
+    Used to seed the paper's best-of-N repeated runs (§4.2: 5 runs,
+    lowest-MDL result kept).
+    """
+    rng = philox_stream(seed, 0x5EED)
+    return [int(x) for x in rng.integers(0, 2**63 - 1, size=count)]
+
+
+@dataclass(frozen=True)
+class SweepRandomness:
+    """Pre-drawn uniforms for one MCMC sweep, laid out in vertex order.
+
+    Attributes
+    ----------
+    uniforms:
+        Array of shape ``(num_vertices, UNIFORMS_PER_VERTEX)`` in [0, 1).
+        Row ``i`` belongs to the ``i``-th vertex *processed by the sweep*
+        (not vertex id ``i``): callers pass vertex lists alongside.
+    """
+
+    uniforms: np.ndarray
+
+    @classmethod
+    def draw(cls, seed: int, phase: int, sweep: int, count: int) -> "SweepRandomness":
+        """Draw the full uniform table for ``count`` vertices.
+
+        ``phase`` disambiguates the consuming kernel (e.g. serial V* pass
+        vs async V⁻ pass within one hybrid sweep) and ``sweep`` is the
+        sweep index within the phase.
+        """
+        rng = philox_stream(seed, phase, sweep)
+        table = rng.random((count, UNIFORMS_PER_VERTEX))
+        return cls(uniforms=table)
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        """Rows [start, stop) — a zero-copy view for a worker chunk."""
+        return self.uniforms[start:stop]
+
+    def __len__(self) -> int:
+        return self.uniforms.shape[0]

@@ -1,0 +1,100 @@
+"""Lightweight wall-clock timers for phase breakdowns.
+
+The paper's Fig. 2 (execution-time breakdown) and all speedup figures
+(Figs. 4b, 6, 7) are computed from accumulated per-phase wall-clock
+times; :class:`StopwatchPool` is the accumulator the drivers use.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "StopwatchPool"]
+
+
+@dataclass
+class Timer:
+    """A single resumable stopwatch accumulating elapsed seconds."""
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("Timer already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("Timer not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+class StopwatchPool:
+    """A named collection of :class:`Timer` objects.
+
+    Example
+    -------
+    >>> pool = StopwatchPool()
+    >>> with pool.section("mcmc"):
+    ...     pass
+    >>> pool.elapsed("mcmc") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._timers: dict[str, Timer] = {}
+
+    def timer(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer()
+        return self._timers[name]
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[Timer]:
+        timer = self.timer(name)
+        with timer.measure():
+            yield timer
+
+    def elapsed(self, name: str) -> float:
+        timer = self._timers.get(name)
+        return 0.0 if timer is None else timer.elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Credit ``seconds`` to ``name`` without running a stopwatch.
+
+        Used by the simulated thread executor, which computes virtual
+        durations instead of measuring them.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot add negative time: {seconds}")
+        self.timer(name).elapsed += seconds
+
+    def snapshot(self) -> dict[str, float]:
+        return {name: t.elapsed for name, t in self._timers.items()}
+
+    def reset(self) -> None:
+        for t in self._timers.values():
+            t.reset()

@@ -1,0 +1,40 @@
+"""Argument validation helpers shared by public API entry points."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["check_nonnegative_int", "check_positive", "check_probability"]
+
+
+def check_nonnegative_int(value: Any, name: str) -> int:
+    """Coerce ``value`` to a non-negative int or raise ``ValueError``."""
+    try:
+        out = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{name} must be an integer, got {value!r}") from exc
+    if out != value or out < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return out
+
+
+def check_positive(value: Any, name: str) -> float:
+    """Coerce ``value`` to a strictly positive float or raise ``ValueError``."""
+    try:
+        out = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{name} must be a number, got {value!r}") from exc
+    if not out > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return out
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Coerce ``value`` to a float in [0, 1] or raise ``ValueError``."""
+    try:
+        out = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{name} must be a number, got {value!r}") from exc
+    if not 0.0 <= out <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return out

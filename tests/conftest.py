@@ -1,0 +1,78 @@
+"""Shared fixtures: hand-built graphs, planted-partition graphs, state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Blockmodel, DCSBMParams, Graph, generate_dcsbm
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """8 vertices, two obvious clusters {0..3} and {4..7}, one bridge.
+
+    Includes a self-loop (vertex 2) and a parallel edge (1 -> 0 twice) so
+    multigraph handling is always exercised.
+    """
+    edges = np.array(
+        [
+            [0, 1], [1, 2], [2, 3], [3, 0], [1, 0], [1, 0], [2, 2],
+            [4, 5], [5, 6], [6, 7], [7, 4], [5, 4], [6, 4],
+            [3, 4],  # bridge
+        ],
+        dtype=np.int64,
+    )
+    return Graph(8, edges)
+
+
+@pytest.fixture
+def tiny_truth() -> np.ndarray:
+    return np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int64)
+
+
+@pytest.fixture(scope="session")
+def planted_graph() -> tuple[Graph, np.ndarray]:
+    """An easily detectable planted partition (V=80, 3 communities)."""
+    return generate_dcsbm(
+        DCSBMParams(
+            num_vertices=80,
+            num_communities=3,
+            within_between_ratio=8.0,
+            mean_degree=8.0,
+            d_max=16,
+        ),
+        seed=101,
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_graph() -> tuple[Graph, np.ndarray]:
+    """A moderately sized graph for backend and sweep tests (V=150)."""
+    return generate_dcsbm(
+        DCSBMParams(
+            num_vertices=150,
+            num_communities=5,
+            within_between_ratio=6.0,
+            mean_degree=7.0,
+            d_max=24,
+        ),
+        seed=77,
+    )
+
+
+@pytest.fixture
+def random_blockmodel(medium_graph) -> tuple[Graph, Blockmodel]:
+    """A deliberately wrong random assignment over the medium graph."""
+    graph, _ = medium_graph
+    rng = np.random.default_rng(5)
+    assignment = rng.integers(0, 9, graph.num_vertices)
+    return graph, Blockmodel.from_assignment(graph, assignment, 9)
+
+
+def make_line_graph(n: int = 5) -> Graph:
+    """0 -> 1 -> ... -> n-1, a minimal deterministic structure."""
+    edges = np.stack(
+        [np.arange(n - 1, dtype=np.int64), np.arange(1, n, dtype=np.int64)], axis=1
+    )
+    return Graph(n, edges)

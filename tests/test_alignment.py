@@ -1,0 +1,72 @@
+"""Unit tests for partition alignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.alignment import align_partitions
+
+
+class TestAlignment:
+    def test_permuted_labels_fully_recovered(self):
+        ref = np.array([0, 0, 1, 1, 2, 2])
+        pred = np.array([2, 2, 0, 0, 1, 1])  # pure relabeling
+        out = align_partitions(ref, pred)
+        np.testing.assert_array_equal(out.relabeled, ref)
+        assert out.accuracy == 1.0
+        assert out.mapping == {2: 0, 0: 1, 1: 2}
+
+    def test_partial_agreement(self):
+        ref = np.array([0, 0, 0, 1, 1, 1])
+        pred = np.array([5, 5, 9, 9, 9, 9])
+        out = align_partitions(ref, pred)
+        assert out.overlap == 5
+        assert out.accuracy == pytest.approx(5 / 6)
+
+    def test_extra_predicted_labels_get_fresh_ids(self):
+        ref = np.array([0, 0, 0, 0])
+        pred = np.array([3, 3, 7, 8])
+        out = align_partitions(ref, pred)
+        # best match maps 3 -> 0; 7 and 8 must not collide with 0
+        assert out.mapping[3] == 0
+        assert out.mapping[7] != 0 and out.mapping[8] != 0
+        assert out.mapping[7] != out.mapping[8]
+
+    def test_confusion_shape(self):
+        ref = np.array([0, 1, 2, 0])
+        pred = np.array([1, 1, 0, 0])
+        out = align_partitions(ref, pred)
+        assert out.confusion.shape == (3, 2)
+        assert out.confusion.sum() == 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            align_partitions(np.array([0, 1]), np.array([0]))
+
+    def test_accuracy_bounds_random(self):
+        rng = np.random.default_rng(0)
+        ref = rng.integers(0, 4, 500)
+        pred = rng.integers(0, 4, 500)
+        out = align_partitions(ref, pred)
+        # aligned accuracy of independent labelings stays near chance
+        assert 0.15 < out.accuracy < 0.5
+
+    def test_alignment_improves_raw_agreement(self):
+        rng = np.random.default_rng(1)
+        ref = rng.integers(0, 3, 300)
+        perm = np.array([2, 0, 1])
+        noisy = np.where(rng.random(300) < 0.9, perm[ref], rng.integers(0, 3, 300))
+        raw = float((noisy == ref).mean())
+        out = align_partitions(ref, noisy)
+        assert out.accuracy > raw
+        assert out.accuracy > 0.8
+
+    def test_sbp_result_alignment(self, planted_graph):
+        """End-to-end: align an inferred partition with the ground truth."""
+        from repro import SBPConfig, run_sbp
+
+        graph, truth = planted_graph
+        result = run_sbp(graph, SBPConfig(variant="h-sbp", seed=5))
+        out = align_partitions(truth, result.assignment)
+        assert out.accuracy > 0.7

@@ -1,0 +1,108 @@
+"""Public API surface, shared types, errors and logging tests."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+import repro
+from repro import errors
+from repro.types import PhaseTimings, SweepStats
+from repro.utils.log import configure_logging, get_logger
+
+
+class TestPublicAPI:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_key_entry_points_exported(self):
+        for name in (
+            "Graph", "Blockmodel", "run_sbp", "run_best_of", "SBPConfig",
+            "Variant", "generate_dcsbm", "generate_synthetic",
+            "normalized_mutual_information", "adjusted_rand_index",
+            "save_result", "load_result",
+        ):
+            assert name in repro.__all__, name
+
+    def test_error_hierarchy(self):
+        for name in (
+            "GraphFormatError", "GraphValidationError", "GeneratorError",
+            "BlockmodelError", "ConvergenceError", "BackendError",
+            "ExperimentError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+            assert issubclass(cls, Exception)
+
+    def test_variant_values(self):
+        assert {v.value for v in repro.Variant} == {"sbp", "a-sbp", "h-sbp", "b-sbp"}
+
+
+class TestPhaseTimings:
+    def test_total(self):
+        t = PhaseTimings(block_merge=1.0, mcmc=2.0, rebuild=0.5, other=0.5)
+        assert t.total == 4.0
+
+    def test_mcmc_fraction_includes_rebuild(self):
+        t = PhaseTimings(block_merge=1.0, mcmc=2.0, rebuild=1.0, other=0.0)
+        assert t.mcmc_fraction == pytest.approx(0.75)
+
+    def test_mcmc_fraction_empty(self):
+        assert PhaseTimings().mcmc_fraction == 0.0
+
+    def test_merged_with(self):
+        a = PhaseTimings(block_merge=1.0, mcmc=2.0)
+        b = PhaseTimings(mcmc=3.0, rebuild=1.0)
+        merged = a.merged_with(b)
+        assert merged.block_merge == 1.0
+        assert merged.mcmc == 5.0
+        assert merged.rebuild == 1.0
+        # originals untouched
+        assert a.mcmc == 2.0
+
+
+class TestSweepStats:
+    def test_acceptance_rate(self):
+        stats = SweepStats(proposals=10, accepted=4)
+        assert stats.acceptance_rate == pytest.approx(0.4)
+
+    def test_acceptance_rate_zero_proposals(self):
+        assert SweepStats().acceptance_rate == 0.0
+
+    def test_work_vector_optional(self):
+        stats = SweepStats(work_per_vertex=np.arange(3))
+        assert stats.work_per_vertex.shape == (3,)
+
+
+class TestLogging:
+    def test_logger_hierarchy(self):
+        assert get_logger("core.sbp").name == "repro.core.sbp"
+        assert get_logger("repro.x").name == "repro.x"
+        assert get_logger().name == "repro"
+
+    def test_silent_by_default(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_configure_idempotent(self):
+        logger = configure_logging("DEBUG")
+        before = len(logger.handlers)
+        configure_logging("INFO")
+        assert len(logger.handlers) == before
+        assert logger.level == logging.INFO
+
+    def test_driver_emits_progress(self, planted_graph, caplog):
+        from repro import SBPConfig, run_sbp
+
+        graph, _ = planted_graph
+        with caplog.at_level(logging.INFO, logger="repro"):
+            run_sbp(graph, SBPConfig(seed=3, max_sweeps=5))
+        messages = [r.message for r in caplog.records]
+        assert any(m.startswith("iter") for m in messages)
+        assert any(m.startswith("done") for m in messages)

@@ -1,0 +1,132 @@
+"""Backend equivalence: serial oracle vs vectorized batch vs process pool.
+
+This is the load-bearing property of the whole parallelization story:
+because asynchronous Gibbs evaluates every vertex against the frozen
+state and the per-sweep randomness is pre-drawn in vertex order, every
+execution strategy must produce identical decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Blockmodel
+from repro.errors import BackendError
+from repro.parallel.backend import available_backends, get_backend, register_backend
+from repro.parallel.processpool import ProcessPoolBackend
+from repro.parallel.serial import SerialBackend
+from repro.parallel.vectorized import VectorizedBackend
+from repro.utils.rng import SweepRandomness
+
+
+@pytest.fixture
+def state(medium_graph):
+    graph, _ = medium_graph
+    rng = np.random.default_rng(21)
+    assignment = rng.integers(0, 10, graph.num_vertices)
+    return graph, Blockmodel.from_assignment(graph, assignment, 10)
+
+
+def _sweep_inputs(graph, seed=0, phase=1, sweep=0):
+    vertices = np.arange(graph.num_vertices, dtype=np.int64)
+    rand = SweepRandomness.draw(seed, phase, sweep, graph.num_vertices)
+    return vertices, rand.uniforms
+
+
+class TestVectorizedEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_decisions_identical(self, state, seed):
+        graph, bm = state
+        vertices, uniforms = _sweep_inputs(graph, seed=seed)
+        a1, t1 = SerialBackend().evaluate_sweep(bm, graph, vertices, uniforms, 3.0)
+        a2, t2 = VectorizedBackend().evaluate_sweep(bm, graph, vertices, uniforms, 3.0)
+        np.testing.assert_array_equal(t1, t2)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_beta_variation(self, state):
+        graph, bm = state
+        vertices, uniforms = _sweep_inputs(graph, seed=9)
+        for beta in (0.5, 1.0, 3.0, 10.0):
+            a1, t1 = SerialBackend().evaluate_sweep(bm, graph, vertices, uniforms, beta)
+            a2, t2 = VectorizedBackend().evaluate_sweep(bm, graph, vertices, uniforms, beta)
+            np.testing.assert_array_equal(t1, t2)
+            np.testing.assert_array_equal(a1, a2)
+
+    def test_subset_sweep(self, state):
+        graph, bm = state
+        vertices = np.arange(10, 60, dtype=np.int64)
+        rand = SweepRandomness.draw(4, 1, 0, len(vertices))
+        a1, t1 = SerialBackend().evaluate_sweep(bm, graph, vertices, rand.uniforms, 3.0)
+        a2, t2 = VectorizedBackend().evaluate_sweep(bm, graph, vertices, rand.uniforms, 3.0)
+        np.testing.assert_array_equal(t1, t2)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_empty_sweep(self, state):
+        graph, bm = state
+        empty = np.empty(0, dtype=np.int64)
+        a, t = VectorizedBackend().evaluate_sweep(
+            bm, graph, empty, np.empty((0, 5)), 3.0
+        )
+        assert a.shape == (0,)
+        assert t.shape == (0,)
+
+    def test_does_not_mutate(self, state):
+        graph, bm = state
+        before_B = bm.B.copy()
+        vertices, uniforms = _sweep_inputs(graph)
+        VectorizedBackend().evaluate_sweep(bm, graph, vertices, uniforms, 3.0)
+        np.testing.assert_array_equal(bm.B, before_B)
+
+    def test_singleton_blockmodel(self, medium_graph):
+        """C = V (first agglomerative iteration) must also agree."""
+        graph, _ = medium_graph
+        bm = Blockmodel.singleton(graph)
+        vertices, uniforms = _sweep_inputs(graph, seed=13)
+        a1, t1 = SerialBackend().evaluate_sweep(bm, graph, vertices, uniforms, 3.0)
+        a2, t2 = VectorizedBackend().evaluate_sweep(bm, graph, vertices, uniforms, 3.0)
+        np.testing.assert_array_equal(t1, t2)
+        np.testing.assert_array_equal(a1, a2)
+
+
+@pytest.mark.slow
+class TestProcessPoolEquivalence:
+    def test_decisions_identical(self, state):
+        graph, bm = state
+        vertices, uniforms = _sweep_inputs(graph, seed=5)
+        a1, t1 = SerialBackend().evaluate_sweep(bm, graph, vertices, uniforms, 3.0)
+        backend = ProcessPoolBackend(num_workers=2, min_chunk=1)
+        a2, t2 = backend.evaluate_sweep(bm, graph, vertices, uniforms, 3.0)
+        np.testing.assert_array_equal(t1, t2)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_small_sweep_falls_back_to_serial(self, state):
+        graph, bm = state
+        backend = ProcessPoolBackend(num_workers=4, min_chunk=10**6)
+        vertices, uniforms = _sweep_inputs(graph, seed=6)
+        a, t = backend.evaluate_sweep(bm, graph, vertices, uniforms, 3.0)
+        a1, t1 = SerialBackend().evaluate_sweep(bm, graph, vertices, uniforms, 3.0)
+        np.testing.assert_array_equal(a, a1)
+        np.testing.assert_array_equal(t, t1)
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        names = available_backends()
+        assert {"serial", "vectorized", "process"} <= set(names)
+
+    def test_get_unknown_rejected(self):
+        with pytest.raises(BackendError):
+            get_backend("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(BackendError):
+            register_backend("serial", SerialBackend)
+
+    def test_factory_kwargs(self):
+        backend = get_backend("process", num_workers=3)
+        assert backend.num_workers == 3
+
+    def test_context_manager(self):
+        with get_backend("serial") as backend:
+            assert backend.name == "serial"

@@ -1,0 +1,102 @@
+"""Unit tests for the batched asynchronous-Gibbs variant (B-SBP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Blockmodel, SBPConfig, Variant, run_sbp
+from repro.mcmc.batched import batched_gibbs_sweep
+from repro.parallel.vectorized import VectorizedBackend
+from repro.utils.rng import SweepRandomness
+
+
+@pytest.fixture
+def state(medium_graph):
+    graph, _ = medium_graph
+    rng = np.random.default_rng(31)
+    assignment = rng.integers(0, 8, graph.num_vertices)
+    return graph, Blockmodel.from_assignment(graph, assignment, 8)
+
+
+class TestBatchedSweep:
+    def test_one_batch_equals_async(self, state):
+        graph, bm = state
+        other = bm.copy()
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+        rand = SweepRandomness.draw(1, 2, 0, graph.num_vertices)
+
+        from repro.mcmc.async_gibbs import async_gibbs_sweep
+
+        async_gibbs_sweep(bm, graph, vertices, rand, 3.0, VectorizedBackend())
+        batched_gibbs_sweep(
+            other, graph, vertices, rand, 3.0, VectorizedBackend(), num_batches=1
+        )
+        np.testing.assert_array_equal(bm.assignment, other.assignment)
+        np.testing.assert_array_equal(bm.B, other.B)
+
+    def test_more_batches_changes_trajectory(self, state):
+        graph, bm = state
+        other = bm.copy()
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+        rand = SweepRandomness.draw(2, 2, 0, graph.num_vertices)
+        batched_gibbs_sweep(bm, graph, vertices, rand, 3.0, VectorizedBackend(), 1)
+        batched_gibbs_sweep(other, graph, vertices, rand, 3.0, VectorizedBackend(), 4)
+        # Fresher state mid-sweep leads to different decisions.
+        assert not np.array_equal(bm.assignment, other.assignment)
+
+    def test_consistency_after_sweep(self, state):
+        graph, bm = state
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+        rand = SweepRandomness.draw(3, 2, 0, graph.num_vertices)
+        stats = batched_gibbs_sweep(
+            bm, graph, vertices, rand, 3.0, VectorizedBackend(), 4
+        )
+        bm.check_consistency(graph)
+        assert stats.proposals == graph.num_vertices
+
+    def test_work_recording_concatenates(self, state):
+        graph, bm = state
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+        rand = SweepRandomness.draw(4, 2, 0, graph.num_vertices)
+        stats = batched_gibbs_sweep(
+            bm, graph, vertices, rand, 3.0, VectorizedBackend(), 3, record_work=True
+        )
+        assert stats.work_per_vertex is not None
+        assert stats.work_per_vertex.shape == (graph.num_vertices,)
+        assert stats.work_per_vertex.sum() == stats.parallel_work
+
+    def test_bad_batches(self, state):
+        graph, bm = state
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+        rand = SweepRandomness.draw(5, 2, 0, graph.num_vertices)
+        with pytest.raises(ValueError):
+            batched_gibbs_sweep(
+                bm, graph, vertices, rand, 3.0, VectorizedBackend(), 0
+            )
+
+    def test_more_batches_than_vertices(self, state):
+        graph, bm = state
+        vertices = np.arange(10, dtype=np.int64)
+        rand = SweepRandomness.draw(6, 2, 0, 10)
+        stats = batched_gibbs_sweep(
+            bm, graph, vertices, rand, 3.0, VectorizedBackend(), 50
+        )
+        assert stats.proposals == 10
+        bm.check_consistency(graph)
+
+
+@pytest.mark.slow
+class TestBSBPDriver:
+    def test_full_run_recovers_structure(self, planted_graph):
+        from repro.metrics import normalized_mutual_information
+
+        graph, truth = planted_graph
+        result = run_sbp(graph, SBPConfig(variant=Variant.BSBP, seed=8))
+        assert result.variant == "b-sbp"
+        nmi = normalized_mutual_information(truth, result.assignment)
+        assert nmi > 0.7
+
+    def test_num_batches_config_validated(self):
+        with pytest.raises(ValueError):
+            SBPConfig(num_batches=0)

@@ -1,0 +1,161 @@
+"""Unit + property tests for Blockmodel state transitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Blockmodel, Graph
+from repro.errors import BlockmodelError
+from repro.sbm.delta import vertex_move_context
+
+
+class TestConstruction:
+    def test_from_assignment_counts(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        assert bm.num_blocks == 2
+        assert bm.B.sum() == tiny_graph.num_edges
+        # bridge 3 -> 4 is the only cross edge
+        assert bm.B[0, 1] == 1
+        assert bm.B[1, 0] == 0
+        bm.check_consistency(tiny_graph)
+
+    def test_singleton(self, tiny_graph):
+        bm = Blockmodel.singleton(tiny_graph)
+        assert bm.num_blocks == tiny_graph.num_vertices
+        np.testing.assert_array_equal(bm.d_out, tiny_graph.out_degree)
+        np.testing.assert_array_equal(bm.d_in, tiny_graph.in_degree)
+        bm.check_consistency(tiny_graph)
+
+    def test_explicit_num_blocks_allows_empty(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth, num_blocks=5)
+        assert bm.num_blocks == 5
+        assert bm.num_nonempty_blocks == 2
+
+    def test_bad_shape_rejected(self, tiny_graph):
+        with pytest.raises(BlockmodelError):
+            Blockmodel.from_assignment(tiny_graph, np.zeros(3, dtype=np.int64))
+
+    def test_out_of_range_rejected(self, tiny_graph, tiny_truth):
+        with pytest.raises(BlockmodelError):
+            Blockmodel.from_assignment(tiny_graph, tiny_truth, num_blocks=1)
+
+    def test_copy_is_deep(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        clone = bm.copy()
+        clone.B[0, 0] += 1
+        clone.assignment[0] = 1
+        assert bm.B[0, 0] != clone.B[0, 0]
+        assert bm.assignment[0] == 0
+
+
+class TestMoves:
+    def test_apply_move_matches_rebuild(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        ctx = vertex_move_context(bm, tiny_graph, 3)
+        bm.apply_move(3, 1, ctx.t_out, ctx.c_out, ctx.t_in, ctx.c_in,
+                      ctx.loops, ctx.deg_out, ctx.deg_in)
+        assert bm.assignment[3] == 1
+        bm.check_consistency(tiny_graph)
+
+    def test_self_loop_vertex_move(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        ctx = vertex_move_context(bm, tiny_graph, 2)  # vertex with self-loop
+        bm.apply_move(2, 1, ctx.t_out, ctx.c_out, ctx.t_in, ctx.c_in,
+                      ctx.loops, ctx.deg_out, ctx.deg_in)
+        bm.check_consistency(tiny_graph)
+
+    def test_noop_move_same_block(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        before = bm.B.copy()
+        ctx = vertex_move_context(bm, tiny_graph, 0)
+        bm.apply_move(0, 0, ctx.t_out, ctx.c_out, ctx.t_in, ctx.c_in,
+                      ctx.loops, ctx.deg_out, ctx.deg_in)
+        np.testing.assert_array_equal(bm.B, before)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 7))
+    def test_random_move_sequences_stay_consistent(self, seed, blocks):
+        """Property: any sequence of incremental moves equals a rebuild."""
+        rng = np.random.default_rng(seed)
+        n = 25
+        edges = rng.integers(0, n, (60, 2)).astype(np.int64)
+        graph = Graph(n, edges)
+        assignment = rng.integers(0, blocks, n).astype(np.int64)
+        bm = Blockmodel.from_assignment(graph, assignment, blocks)
+        for _ in range(15):
+            v = int(rng.integers(n))
+            s = int(rng.integers(blocks))
+            ctx = vertex_move_context(bm, graph, v)
+            bm.apply_move(v, s, ctx.t_out, ctx.c_out, ctx.t_in, ctx.c_in,
+                          ctx.loops, ctx.deg_out, ctx.deg_in)
+        bm.check_consistency(graph)
+        rebuilt = Blockmodel.from_assignment(graph, bm.assignment, blocks)
+        np.testing.assert_array_equal(rebuilt.B, bm.B)
+
+
+class TestMerges:
+    def test_merge_blocks_folds_counts(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        total = bm.B.sum()
+        bm.merge_blocks(0, 1)
+        assert bm.B.sum() == total
+        assert bm.B[0].sum() == 0 and bm.B[:, 0].sum() == 0
+        assert (bm.assignment == 1).all()
+        bm.check_consistency(tiny_graph)
+
+    def test_merge_self_rejected(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        with pytest.raises(BlockmodelError):
+            bm.merge_blocks(1, 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_merge_equals_relabel_then_rebuild(self, seed):
+        rng = np.random.default_rng(seed)
+        n, blocks = 20, 5
+        edges = rng.integers(0, n, (50, 2)).astype(np.int64)
+        graph = Graph(n, edges)
+        assignment = rng.integers(0, blocks, n).astype(np.int64)
+        bm = Blockmodel.from_assignment(graph, assignment, blocks)
+        r, s = 1, 3
+        bm.merge_blocks(r, s)
+        relabeled = assignment.copy()
+        relabeled[relabeled == r] = s
+        expected = Blockmodel.from_assignment(graph, relabeled, blocks)
+        np.testing.assert_array_equal(bm.B, expected.B)
+
+
+class TestCompactAndRebuild:
+    def test_compact_drops_empty(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth, num_blocks=6)
+        mapping = bm.compact()
+        assert bm.num_blocks == 2
+        assert (mapping >= -1).all()
+        assert set(bm.assignment.tolist()) == {0, 1}
+        bm.check_consistency(tiny_graph)
+
+    def test_compact_preserves_mdl(self, medium_graph):
+        graph, truth = medium_graph
+        bm = Blockmodel.from_assignment(graph, truth, num_blocks=int(truth.max()) + 3)
+        # empty blocks present: MDL uses matrix dim, so compact changes it
+        bm.compact()
+        assert bm.num_blocks == int(truth.max()) + 1
+
+    def test_rebuild_with_new_assignment(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        flipped = 1 - tiny_truth
+        bm.rebuild(tiny_graph, flipped)
+        np.testing.assert_array_equal(bm.assignment, flipped)
+        bm.check_consistency(tiny_graph)
+
+    def test_rebuild_shape_mismatch_rejected(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        with pytest.raises(BlockmodelError):
+            bm.rebuild(tiny_graph, np.zeros(3, dtype=np.int64))
+
+    def test_block_sizes(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        assert bm.block_sizes().tolist() == [4, 4]

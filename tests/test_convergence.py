@@ -1,0 +1,80 @@
+"""Unit tests for the MCMC phase stopping rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mcmc.convergence import ConvergenceMonitor
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(-1.0, 10)
+
+    def test_bad_max_sweeps(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(0.1, 0)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(0.1, 10, window=0)
+
+    def test_update_before_start(self):
+        monitor = ConvergenceMonitor(0.1, 10)
+        with pytest.raises(RuntimeError):
+            monitor.update(1.0)
+
+
+class TestStoppingRule:
+    def test_stops_on_flat_mdl(self):
+        monitor = ConvergenceMonitor(1e-4, max_sweeps=100, window=3)
+        monitor.start(1000.0)
+        results = [monitor.update(1000.0) for _ in range(3)]
+        assert results == [False, False, True]
+
+    def test_does_not_stop_while_improving(self):
+        monitor = ConvergenceMonitor(1e-4, max_sweeps=100, window=3)
+        monitor.start(1000.0)
+        mdl = 1000.0
+        for _ in range(10):
+            mdl -= 10.0
+            assert not monitor.update(mdl)
+
+    def test_max_sweeps_cap(self):
+        monitor = ConvergenceMonitor(1e-12, max_sweeps=5, window=3)
+        monitor.start(1000.0)
+        mdl = 1000.0
+        done = False
+        for i in range(5):
+            mdl -= 100.0  # always far above threshold
+            done = monitor.update(mdl)
+        assert done
+        assert monitor.sweeps == 5
+
+    def test_window_filters_single_quiet_sweep(self):
+        """One flat sweep among noisy ones must not trigger convergence."""
+        monitor = ConvergenceMonitor(1e-3, max_sweeps=100, window=3)
+        monitor.start(1000.0)
+        assert not monitor.update(990.0)   # big change
+        assert not monitor.update(990.0)   # flat
+        assert not monitor.update(980.0)   # big change again: window avg high
+
+    def test_relative_threshold_scales_with_mdl(self):
+        monitor = ConvergenceMonitor(0.01, max_sweeps=100, window=1)
+        monitor.start(10_000.0)
+        # |delta| = 50 < 0.01 * 9950 -> converged immediately with window 1
+        assert monitor.update(9950.0)
+
+    def test_start_resets(self):
+        monitor = ConvergenceMonitor(1e-4, max_sweeps=3, window=1)
+        monitor.start(100.0)
+        monitor.update(90.0)
+        monitor.start(100.0)
+        assert monitor.sweeps == 0
+
+    def test_last_mdl_tracks(self):
+        monitor = ConvergenceMonitor(1e-4, 10)
+        monitor.start(5.0)
+        monitor.update(4.0)
+        assert monitor.last_mdl == 4.0

@@ -1,0 +1,104 @@
+"""Unit tests for the Table 1 corpus and Table 2 stand-ins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    REAL_WORLD_SPECS,
+    SYNTHETIC_SPECS,
+    corpus_ids,
+    generate_real_world_standin,
+    generate_synthetic,
+    real_world_ids,
+)
+from repro.errors import GeneratorError
+from repro.generators.corpus import REDACTED_IDS
+
+
+class TestCorpusStructure:
+    def test_twenty_four_graphs(self):
+        assert len(SYNTHETIC_SPECS) == 24
+        assert corpus_ids(include_redacted=True) == [f"S{i}" for i in range(1, 25)]
+
+    def test_r_groups(self):
+        """S1-S8: r=5, S9-S16: r=3, S17-S24: r=1 (Table 1 layout)."""
+        for i in range(1, 25):
+            spec = SYNTHETIC_SPECS[f"S{i}"]
+            expected_r = 5.0 if i <= 8 else 3.0 if i <= 16 else 1.0
+            assert spec.r == expected_r, f"S{i}"
+
+    def test_density_split(self):
+        """Within each group of 8: first 4 sparse, last 4 dense."""
+        for i in range(1, 25):
+            spec = SYNTHETIC_SPECS[f"S{i}"]
+            assert spec.dense == (((i - 1) % 8) >= 4), f"S{i}"
+
+    def test_redacted_matches_paper(self):
+        assert REDACTED_IDS == {"S1", "S3", "S17", "S18", "S19", "S20"}
+        assert len(corpus_ids()) == 18
+
+    def test_generation_deterministic(self):
+        g1, t1 = generate_synthetic("S5", seed=3)
+        g2, t2 = generate_synthetic("S5", seed=3)
+        assert g1 == g2
+        np.testing.assert_array_equal(t1, t2)
+
+    def test_distinct_graphs_per_id(self):
+        g1, _ = generate_synthetic("S5", seed=3)
+        g2, _ = generate_synthetic("S6", seed=3)
+        assert g1 != g2
+
+    def test_dense_graphs_denser(self):
+        sparse, _ = generate_synthetic("S2", seed=1)
+        dense, _ = generate_synthetic("S6", seed=1)
+        assert dense.num_edges / dense.num_vertices > 2 * (
+            sparse.num_edges / sparse.num_vertices
+        )
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(GeneratorError):
+            generate_synthetic("S99")
+
+
+class TestRealWorldStandins:
+    def test_fourteen_graphs_in_paper_order(self):
+        assert len(REAL_WORLD_SPECS) == 14
+        assert real_world_ids()[0] == "rajat01"
+        assert real_world_ids()[-1] == "flickr"
+
+    def test_paper_scale_recorded(self):
+        spec = REAL_WORLD_SPECS["web-BerkStan"]
+        assert spec.paper_vertices == 685230
+        assert spec.paper_edges == 7600595
+
+    def test_density_preserved_capped(self):
+        for name, spec in REAL_WORLD_SPECS.items():
+            paper_density = spec.paper_edges / spec.paper_vertices
+            assert spec.mean_degree == pytest.approx(min(paper_density, 20.0)), name
+
+    def test_standin_density_close_to_spec(self):
+        g = generate_real_world_standin("soc-Slashdot0902", seed=0)
+        spec = REAL_WORLD_SPECS["soc-Slashdot0902"]
+        assert g.num_edges / g.num_vertices == pytest.approx(
+            spec.mean_degree, rel=0.2
+        )
+
+    def test_p2p_structureless(self):
+        assert REAL_WORLD_SPECS["p2p-Gnutella31"].r == 1.0
+
+    def test_mesh_near_regular(self):
+        g = generate_real_world_standin("barth5", seed=0)
+        # near-regular: degree spread should be modest
+        cv = g.degree.std() / g.degree.mean()
+        assert cv < 0.8
+
+    def test_deterministic(self):
+        a = generate_real_world_standin("wiki-Vote", seed=5)
+        b = generate_real_world_standin("wiki-Vote", seed=5)
+        assert a == b
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GeneratorError):
+            generate_real_world_standin("facebook")

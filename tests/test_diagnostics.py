@@ -1,0 +1,73 @@
+"""Unit tests for run diagnostics (sweep traces)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SBPConfig, Variant, run_sbp
+from repro.diagnostics import SweepTrace, trace_from_result
+from repro.types import SweepStats
+
+
+def _trace(deltas, accepts, serial=None, parallel=None):
+    n = len(deltas)
+    return SweepTrace(
+        delta_mdl=np.asarray(deltas, dtype=np.float64),
+        acceptance_rate=np.asarray(accepts, dtype=np.float64),
+        serial_work=np.asarray(serial if serial is not None else [0.0] * n),
+        parallel_work=np.asarray(parallel if parallel is not None else [1.0] * n),
+    )
+
+
+class TestSweepTrace:
+    def test_total_improvement_only_counts_descent(self):
+        trace = _trace([-5.0, 2.0, -3.0], [0.5, 0.4, 0.3])
+        assert trace.total_improvement == -8.0
+
+    def test_parallel_fraction(self):
+        trace = _trace([0.0, 0.0], [0.1, 0.1], serial=[1.0, 1.0], parallel=[3.0, 3.0])
+        assert trace.parallel_fraction == pytest.approx(0.75)
+
+    def test_parallel_fraction_no_work(self):
+        trace = _trace([0.0], [0.0], serial=[0.0], parallel=[0.0])
+        assert trace.parallel_fraction == 0.0
+
+    def test_acceptance_decay(self):
+        rates = [0.8] * 4 + [0.4] * 4 + [0.2] * 4
+        trace = _trace([0.0] * 12, rates)
+        assert trace.acceptance_decay() == pytest.approx(0.25)
+
+    def test_acceptance_decay_short_run(self):
+        trace = _trace([0.0] * 3, [0.5, 0.4, 0.3])
+        assert trace.acceptance_decay() == 1.0
+
+    def test_summary_keys(self):
+        trace = _trace([-1.0, -0.5], [0.3, 0.2])
+        summary = trace.summary()
+        assert set(summary) == {
+            "sweeps", "total_improvement", "mean_acceptance",
+            "acceptance_decay", "parallel_fraction",
+        }
+
+
+@pytest.mark.slow
+class TestTraceFromResult:
+    def test_requires_recording(self, planted_graph):
+        graph, _ = planted_graph
+        result = run_sbp(graph, SBPConfig(seed=1, max_sweeps=5))
+        with pytest.raises(ValueError):
+            trace_from_result(result)
+
+    def test_real_run_trace(self, planted_graph):
+        graph, _ = planted_graph
+        result = run_sbp(
+            graph, SBPConfig(variant=Variant.HSBP, seed=2, record_work=True)
+        )
+        trace = trace_from_result(result)
+        assert trace.num_sweeps == result.mcmc_sweeps
+        # The chain descends overall and the async section dominates work.
+        assert trace.total_improvement < 0
+        assert trace.parallel_fraction > 0.3
+        assert 0.0 <= trace.acceptance_rate.min()
+        assert trace.acceptance_rate.max() <= 1.0

@@ -1,0 +1,225 @@
+"""Unit/integration tests for the simulated distributed substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Blockmodel
+from repro.distributed.comm import CommSpec, SimCommWorld
+from repro.distributed.dsbp import distributed_async_sweep, model_distributed_scaling
+from repro.distributed.graphdist import DistributedGraph
+from repro.distributed.partition import edge_cut, partition_stats, partition_vertices
+from repro.errors import BackendError
+from repro.mcmc.async_gibbs import async_gibbs_sweep
+from repro.parallel.vectorized import VectorizedBackend
+from repro.utils.rng import SweepRandomness
+
+
+class TestCommWorld:
+    def test_send_recv_roundtrip(self):
+        world = SimCommWorld(3)
+        payload = np.arange(10)
+        world.send(payload, source=0, dest=2)
+        out = world.recv(source=0, dest=2)
+        np.testing.assert_array_equal(out, payload)
+        assert world.ledger.point_to_point_messages == 1
+        assert world.ledger.point_to_point_bytes == payload.nbytes
+
+    def test_recv_without_send(self):
+        world = SimCommWorld(2)
+        with pytest.raises(BackendError):
+            world.recv(source=0, dest=1)
+
+    def test_send_to_self_rejected(self):
+        world = SimCommWorld(2)
+        with pytest.raises(BackendError):
+            world.send(b"x", source=1, dest=1)
+
+    def test_receiver_waits_for_arrival(self):
+        world = SimCommWorld(2, CommSpec(latency_seconds=1.0,
+                                         bandwidth_bytes_per_second=1e9))
+        world.send(b"x", source=0, dest=1)
+        world.recv(source=0, dest=1)
+        assert world.clock(1) >= 1.0
+
+    def test_allgather_synchronizes_clocks(self):
+        world = SimCommWorld(4)
+        world.advance_compute(2, 5.0)
+        world.allgather([np.zeros(1)] * 4)
+        for rank in range(4):
+            assert world.clock(rank) >= 5.0
+        assert world.clock(0) == world.clock(3)
+
+    def test_allreduce_sum(self):
+        world = SimCommWorld(3)
+        assert world.allreduce_sum([1.0, 2.0, 3.5]) == 6.5
+
+    def test_allgather_wrong_arity(self):
+        world = SimCommWorld(2)
+        with pytest.raises(BackendError):
+            world.allgather([1])
+
+    def test_collective_cost_grows_with_ranks(self):
+        spec = CommSpec(latency_seconds=1e-5)
+        small = SimCommWorld(2, spec)
+        large = SimCommWorld(64, spec)
+        small.barrier()
+        large.barrier()
+        assert large.makespan > small.makespan
+
+    def test_single_rank_collectives_free(self):
+        world = SimCommWorld(1)
+        world.barrier()
+        assert world.makespan == 0.0
+
+    def test_bad_rank_count(self):
+        with pytest.raises(BackendError):
+            SimCommWorld(0)
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("strategy", ["contiguous", "hash", "degree_balanced"])
+    def test_partition_covers_all(self, medium_graph, strategy):
+        graph, _ = medium_graph
+        owner = partition_vertices(graph, 4, strategy)
+        assert owner.shape == (graph.num_vertices,)
+        assert set(np.unique(owner)) <= set(range(4))
+
+    def test_contiguous_is_ranges(self, medium_graph):
+        graph, _ = medium_graph
+        owner = partition_vertices(graph, 3, "contiguous")
+        assert (np.diff(owner) >= 0).all()
+
+    def test_degree_balanced_beats_contiguous_on_balance(self, medium_graph):
+        graph, _ = medium_graph
+        balanced = partition_stats(
+            graph, partition_vertices(graph, 8, "degree_balanced"), "degree_balanced"
+        )
+        contiguous = partition_stats(
+            graph, partition_vertices(graph, 8, "contiguous"), "contiguous"
+        )
+        assert balanced.degree_imbalance <= contiguous.degree_imbalance + 1e-9
+
+    def test_edge_cut_single_rank_zero(self, medium_graph):
+        graph, _ = medium_graph
+        owner = partition_vertices(graph, 1, "hash")
+        assert edge_cut(graph, owner) == 0
+
+    def test_unknown_strategy(self, medium_graph):
+        graph, _ = medium_graph
+        with pytest.raises(ValueError):
+            partition_vertices(graph, 2, "metis")
+
+
+class TestDistributedGraph:
+    def test_cover_invariant(self, medium_graph):
+        graph, _ = medium_graph
+        for ranks in (1, 2, 5):
+            owner = partition_vertices(graph, ranks, "degree_balanced")
+            dgraph = DistributedGraph(graph, owner)
+            dgraph.check_cover()
+
+    def test_ghosts_are_cut_endpoints(self, medium_graph):
+        graph, _ = medium_graph
+        owner = partition_vertices(graph, 3, "hash")
+        dgraph = DistributedGraph(graph, owner)
+        for shard in dgraph.shards:
+            assert np.intersect1d(shard.owned, shard.ghosts).size == 0
+            # every ghost is adjacent to an owned vertex
+            endpoints = np.unique(shard.local_edges)
+            assert np.isin(shard.ghosts, endpoints).all()
+
+    def test_single_rank_no_ghosts(self, medium_graph):
+        graph, _ = medium_graph
+        dgraph = DistributedGraph(graph, np.zeros(graph.num_vertices, dtype=np.int64))
+        assert dgraph.total_ghosts == 0
+        assert dgraph.replication_factor == 1.0
+
+    def test_hash_partition_worst_replication(self, medium_graph):
+        """Hash scattering should inflate ghosts vs contiguous ranges."""
+        graph, _ = medium_graph
+        hash_dg = DistributedGraph(graph, partition_vertices(graph, 4, "hash"))
+        cont_dg = DistributedGraph(graph, partition_vertices(graph, 4, "contiguous"))
+        assert hash_dg.total_ghosts >= cont_dg.total_ghosts * 0.5  # sanity floor
+        assert hash_dg.replication_factor > 1.0
+
+    def test_bad_owner_shape(self, medium_graph):
+        graph, _ = medium_graph
+        with pytest.raises(ValueError):
+            DistributedGraph(graph, np.zeros(3, dtype=np.int64))
+
+
+class TestDistributedSweep:
+    def _state(self, medium_graph):
+        graph, _ = medium_graph
+        rng = np.random.default_rng(13)
+        assignment = rng.integers(0, 7, graph.num_vertices)
+        return graph, assignment
+
+    @pytest.mark.parametrize("ranks", [1, 2, 4, 7])
+    @pytest.mark.parametrize("strategy", ["contiguous", "degree_balanced"])
+    def test_identical_to_single_node(self, medium_graph, ranks, strategy):
+        """The distribution invariant: results never depend on ranks."""
+        graph, assignment = self._state(medium_graph)
+        rand = SweepRandomness.draw(3, 5, 0, graph.num_vertices)
+
+        reference = Blockmodel.from_assignment(graph, assignment, 7)
+        async_gibbs_sweep(
+            reference, graph, np.arange(graph.num_vertices, dtype=np.int64),
+            rand, 3.0, VectorizedBackend(),
+        )
+
+        bm = Blockmodel.from_assignment(graph, assignment, 7)
+        owner = partition_vertices(graph, ranks, strategy)
+        dgraph = DistributedGraph(graph, owner)
+        world = SimCommWorld(ranks)
+        distributed_async_sweep(bm, dgraph, world, rand, 3.0, VectorizedBackend())
+
+        np.testing.assert_array_equal(bm.assignment, reference.assignment)
+        np.testing.assert_array_equal(bm.B, reference.B)
+
+    def test_report_fields(self, medium_graph):
+        graph, assignment = self._state(medium_graph)
+        bm = Blockmodel.from_assignment(graph, assignment, 7)
+        owner = partition_vertices(graph, 4, "degree_balanced")
+        dgraph = DistributedGraph(graph, owner)
+        world = SimCommWorld(4)
+        rand = SweepRandomness.draw(5, 5, 0, graph.num_vertices)
+        report = distributed_async_sweep(
+            bm, dgraph, world, rand, 3.0, VectorizedBackend(),
+            seconds_per_unit=1e-6, rebuild_seconds=1e-3,
+        )
+        assert report.num_ranks == 4
+        assert report.makespan_seconds > 0
+        assert report.communication_bytes > 0
+        bm.check_consistency(graph)
+
+    def test_rank_mismatch_rejected(self, medium_graph):
+        graph, assignment = self._state(medium_graph)
+        bm = Blockmodel.from_assignment(graph, assignment, 7)
+        dgraph = DistributedGraph(graph, partition_vertices(graph, 2, "hash"))
+        world = SimCommWorld(3)
+        rand = SweepRandomness.draw(5, 5, 0, graph.num_vertices)
+        with pytest.raises(ValueError):
+            distributed_async_sweep(bm, dgraph, world, rand, 3.0, VectorizedBackend())
+
+
+class TestScalingModel:
+    def test_rows_and_invariance(self, medium_graph):
+        graph, _ = medium_graph
+        rng = np.random.default_rng(17)
+        assignment = rng.integers(0, 6, graph.num_vertices)
+        rows = model_distributed_scaling(
+            graph, assignment, rank_counts=[1, 2, 4], sweeps=2
+        )
+        assert [r["ranks"] for r in rows] == [1, 2, 4]
+        assert all(r["result_matches_1rank"] for r in rows)
+        # compute shrinks with ranks: modeled makespan improves
+        assert rows[-1]["makespan_s"] < rows[0]["makespan_s"]
+        # the allgather payload (moved vertices) is rank-count invariant;
+        # only its *time* cost varies (zero at 1 rank).
+        assert rows[0]["comm_bytes"] == rows[1]["comm_bytes"] == rows[2]["comm_bytes"]
+        # edge cut grows as the graph is split finer
+        assert rows[0]["edge_cut"] == 0.0
+        assert rows[1]["edge_cut"] < rows[2]["edge_cut"]

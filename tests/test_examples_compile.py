@@ -1,0 +1,56 @@
+"""Examples stay runnable: compile checks plus structural assertions.
+
+Full executions live in the examples themselves (they take seconds to
+minutes); here we guarantee every script at least parses, imports only
+public API, and exposes a ``main()`` entry point.
+"""
+
+from __future__ import annotations
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable floor; we ship six
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_structure(path):
+    tree = ast.parse(path.read_text())
+    # a module docstring explaining the scenario
+    assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+    # a main() function and the __main__ guard
+    func_names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in func_names, f"{path.name} lacks main()"
+    assert "__main__" in path.read_text(), f"{path.name} lacks entry guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every `from repro... import X` in an example must resolve."""
+    import importlib
+
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module == "repro" or node.module.startswith("repro.")
+        ):
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} missing"
+                )

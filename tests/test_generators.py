@@ -1,0 +1,179 @@
+"""Unit/property tests for degree sampling, partitions and the DCSBM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DCSBMParams, generate_dcsbm
+from repro.errors import GeneratorError
+from repro.generators.degree import (
+    power_law_pmf,
+    rescale_to_mean,
+    sample_power_law_degrees,
+)
+from repro.generators.partition import sample_memberships
+from repro.utils.rng import philox_stream
+
+
+class TestPowerLawPmf:
+    def test_normalized(self):
+        _, pmf = power_law_pmf(2.5, 1, 100)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        _, pmf = power_law_pmf(2.0, 1, 50)
+        assert (np.diff(pmf) < 0).all()
+
+    def test_support_bounds(self):
+        support, _ = power_law_pmf(2.0, 3, 9)
+        assert support.tolist() == [3, 4, 5, 6, 7, 8, 9]
+
+    def test_bad_bounds(self):
+        with pytest.raises(GeneratorError):
+            power_law_pmf(2.0, 0, 10)
+        with pytest.raises(GeneratorError):
+            power_law_pmf(2.0, 5, 4)
+
+
+class TestDegreeSampling:
+    def test_within_bounds(self):
+        rng = philox_stream(1, 2)
+        d = sample_power_law_degrees(rng, 5000, 2.5, 2, 30)
+        assert d.min() >= 2
+        assert d.max() <= 30
+
+    def test_heavier_tail_for_smaller_exponent(self):
+        rng1 = philox_stream(3, 0)
+        rng2 = philox_stream(3, 0)
+        light = sample_power_law_degrees(rng1, 20000, 3.5, 1, 100)
+        heavy = sample_power_law_degrees(rng2, 20000, 1.8, 1, 100)
+        assert heavy.mean() > light.mean()
+
+    def test_rescale_to_mean(self):
+        rng = philox_stream(4, 0)
+        d = sample_power_law_degrees(rng, 2000, 2.5, 1, 40)
+        scaled = rescale_to_mean(d, 10.0)
+        assert scaled.mean() == pytest.approx(10.0, rel=0.15)
+        assert scaled.min() >= 1
+
+    def test_rescale_bad_target(self):
+        with pytest.raises(GeneratorError):
+            rescale_to_mean(np.array([1, 2, 3]), 0.0)
+
+
+class TestMemberships:
+    def test_all_communities_nonempty(self):
+        rng = philox_stream(5, 0)
+        m = sample_memberships(rng, 50, 7)
+        assert set(m.tolist()) == set(range(7))
+
+    def test_concentration_controls_balance(self):
+        rng1 = philox_stream(6, 0)
+        rng2 = philox_stream(6, 0)
+        balanced = sample_memberships(rng1, 3000, 5, size_concentration=200.0)
+        skewed = sample_memberships(rng2, 3000, 5, size_concentration=0.5)
+        cv_balanced = np.bincount(balanced).std() / np.bincount(balanced).mean()
+        cv_skewed = np.bincount(skewed).std() / np.bincount(skewed).mean()
+        assert cv_skewed > cv_balanced
+
+    def test_too_many_communities(self):
+        rng = philox_stream(7, 0)
+        with pytest.raises(GeneratorError):
+            sample_memberships(rng, 3, 5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 8))
+    def test_labels_in_range(self, seed, k):
+        rng = philox_stream(seed, 1)
+        m = sample_memberships(rng, 40, k)
+        assert m.min() >= 0
+        assert m.max() < k
+
+
+class TestDCSBM:
+    def test_shapes_and_determinism(self):
+        params = DCSBMParams(
+            num_vertices=100, num_communities=4, within_between_ratio=5.0,
+            mean_degree=6.0,
+        )
+        g1, t1 = generate_dcsbm(params, seed=9)
+        g2, t2 = generate_dcsbm(params, seed=9)
+        assert g1 == g2
+        np.testing.assert_array_equal(t1, t2)
+        assert g1.num_vertices == 100
+        assert t1.shape == (100,)
+
+    def test_different_seeds_differ(self):
+        params = DCSBMParams(
+            num_vertices=100, num_communities=4, within_between_ratio=5.0,
+            mean_degree=6.0,
+        )
+        g1, _ = generate_dcsbm(params, seed=1)
+        g2, _ = generate_dcsbm(params, seed=2)
+        assert g1 != g2
+
+    def test_no_self_loops(self):
+        g, _ = generate_dcsbm(
+            DCSBMParams(num_vertices=80, num_communities=3,
+                        within_between_ratio=4.0, mean_degree=8.0),
+            seed=3,
+        )
+        assert g.self_loops.sum() == 0
+
+    def test_mean_degree_approximate(self):
+        g, _ = generate_dcsbm(
+            DCSBMParams(num_vertices=400, num_communities=4,
+                        within_between_ratio=4.0, mean_degree=10.0),
+            seed=4,
+        )
+        assert g.num_edges / g.num_vertices == pytest.approx(10.0, rel=0.15)
+
+    def test_assortativity_scales_with_r(self):
+        """Higher r must concentrate edges within communities."""
+        def within_fraction(r: float) -> float:
+            g, truth = generate_dcsbm(
+                DCSBMParams(num_vertices=300, num_communities=4,
+                            within_between_ratio=r, mean_degree=8.0),
+                seed=5,
+            )
+            src = truth[g.edges[:, 0]]
+            dst = truth[g.edges[:, 1]]
+            return float((src == dst).mean())
+
+        f1, f4, f8 = within_fraction(1.0), within_fraction(4.0), within_fraction(8.0)
+        assert f1 < f4 < f8
+        assert f1 == pytest.approx(0.25, abs=0.08)  # r=1: random baseline 1/C
+
+    def test_r_one_is_unstructured(self):
+        g, truth = generate_dcsbm(
+            DCSBMParams(num_vertices=200, num_communities=4,
+                        within_between_ratio=1.0, mean_degree=8.0),
+            seed=6,
+        )
+        from repro.metrics import directed_modularity
+
+        assert abs(directed_modularity(g, truth)) < 0.1
+
+    def test_invalid_params(self):
+        with pytest.raises(GeneratorError):
+            generate_dcsbm(DCSBMParams(num_vertices=1, num_communities=1,
+                                       within_between_ratio=1.0))
+        with pytest.raises(GeneratorError):
+            generate_dcsbm(DCSBMParams(num_vertices=10, num_communities=2,
+                                       within_between_ratio=-1.0))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_edges_always_valid(self, seed):
+        g, truth = generate_dcsbm(
+            DCSBMParams(num_vertices=60, num_communities=3,
+                        within_between_ratio=3.0, mean_degree=4.0),
+            seed=seed,
+        )
+        assert g.edges.min() >= 0
+        assert g.edges.max() < 60
+        assert truth.min() >= 0
+        assert truth.max() < 3

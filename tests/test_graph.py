@@ -1,0 +1,129 @@
+"""Unit tests for the CSR graph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.errors import GraphValidationError
+from tests.conftest import make_line_graph
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.num_vertices == 8
+        assert tiny_graph.num_edges == 14
+
+    def test_empty_edges(self):
+        g = Graph(3, np.empty((0, 2), dtype=np.int64))
+        assert g.num_edges == 0
+        assert g.degree.tolist() == [0, 0, 0]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GraphValidationError):
+            Graph(3, np.array([[0, 1, 2]]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphValidationError):
+            Graph(2, np.array([[0, 2]]))
+        with pytest.raises(GraphValidationError):
+            Graph(2, np.array([[-1, 0]]))
+
+    def test_rejects_zero_vertices(self):
+        with pytest.raises(GraphValidationError):
+            Graph(0, np.empty((0, 2), dtype=np.int64))
+
+    def test_arrays_are_readonly(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.out_nbrs[0] = 99
+        with pytest.raises(ValueError):
+            tiny_graph.degree[0] = 99
+
+
+class TestDegrees:
+    def test_degree_sums(self, tiny_graph):
+        assert tiny_graph.out_degree.sum() == tiny_graph.num_edges
+        assert tiny_graph.in_degree.sum() == tiny_graph.num_edges
+        np.testing.assert_array_equal(
+            tiny_graph.degree, tiny_graph.out_degree + tiny_graph.in_degree
+        )
+
+    def test_specific_degrees(self, tiny_graph):
+        # vertex 1 has out-edges to 2, 0, 0 and in-edge from 0.
+        assert tiny_graph.out_degree[1] == 3
+        assert tiny_graph.in_degree[1] == 1
+
+    def test_self_loops(self, tiny_graph):
+        assert tiny_graph.self_loops[2] == 1
+        assert tiny_graph.self_loops.sum() == 1
+
+    def test_line_graph_degrees(self):
+        g = make_line_graph(5)
+        assert g.out_degree.tolist() == [1, 1, 1, 1, 0]
+        assert g.in_degree.tolist() == [0, 1, 1, 1, 1]
+
+
+class TestAdjacencyViews:
+    def test_out_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.out_neighbors(1).tolist()) == [0, 0, 2]
+
+    def test_in_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.in_neighbors(0).tolist()) == [1, 1, 3]
+
+    def test_incident_concatenation(self, tiny_graph):
+        inc = tiny_graph.incident_neighbors(1)
+        assert len(inc) == tiny_graph.degree[1]
+        assert sorted(inc.tolist()) == [0, 0, 0, 2]
+
+    def test_incident_counts_self_loops_twice(self, tiny_graph):
+        inc = tiny_graph.incident_neighbors(2)
+        # degree counts the self loop in both out and in.
+        assert len(inc) == tiny_graph.degree[2]
+        assert inc.tolist().count(2) == 2
+
+    def test_views_are_views(self, tiny_graph):
+        view = tiny_graph.out_neighbors(1)
+        assert view.base is tiny_graph.out_nbrs
+
+    def test_isolated_vertex(self):
+        g = Graph(3, np.array([[0, 1]]))
+        assert len(g.incident_neighbors(2)) == 0
+
+    def test_csr_matches_edge_list(self, medium_graph):
+        graph, _ = medium_graph
+        for v in range(0, graph.num_vertices, 17):
+            expected_out = sorted(
+                graph.edges[graph.edges[:, 0] == v][:, 1].tolist()
+            )
+            assert sorted(graph.out_neighbors(v).tolist()) == expected_out
+            expected_in = sorted(
+                graph.edges[graph.edges[:, 1] == v][:, 0].tolist()
+            )
+            assert sorted(graph.in_neighbors(v).tolist()) == expected_in
+
+
+class TestDerivedGraphs:
+    def test_reversed_swaps_degrees(self, tiny_graph):
+        rev = tiny_graph.reversed()
+        np.testing.assert_array_equal(rev.out_degree, tiny_graph.in_degree)
+        np.testing.assert_array_equal(rev.in_degree, tiny_graph.out_degree)
+
+    def test_reversed_twice_is_identity(self, tiny_graph):
+        assert tiny_graph.reversed().reversed() == tiny_graph
+
+    def test_equality_ignores_edge_order(self):
+        e = np.array([[0, 1], [1, 2]])
+        assert Graph(3, e) == Graph(3, e[::-1].copy())
+
+    def test_inequality_different_edges(self):
+        assert Graph(3, np.array([[0, 1]])) != Graph(3, np.array([[1, 0]]))
+
+    def test_density(self):
+        g = Graph(4, np.array([[0, 1], [2, 3]]))
+        assert g.density == pytest.approx(2 / 16)
+
+    def test_to_undirected_edges_canonical(self, tiny_graph):
+        und = tiny_graph.to_undirected_edges()
+        assert (und[:, 0] <= und[:, 1]).all()
+        assert und.shape == tiny_graph.edges.shape

@@ -1,0 +1,65 @@
+"""Unit tests for GraphBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphBuilder
+from repro.errors import GraphValidationError
+
+
+class TestAutoLabeling:
+    def test_string_labels_densified(self):
+        g = GraphBuilder().add_edge("a", "b").add_edge("b", "c").build()
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_labels_in_first_seen_order(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y").add_edge("z", "x")
+        assert b.labels == ["x", "y", "z"]
+
+    def test_add_vertex_registers_isolated(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_vertex("lonely")
+        g = b.build()
+        assert g.num_vertices == 3
+        assert g.degree[2] == 0
+
+    def test_chaining(self):
+        b = GraphBuilder().add_edges([(0, 1), (1, 2), (0, 1)])
+        assert b.num_edges == 3
+
+
+class TestFixedSize:
+    def test_in_range_ids(self):
+        g = GraphBuilder(num_vertices=5).add_edge(0, 4).build()
+        assert g.num_vertices == 5
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphValidationError):
+            GraphBuilder(num_vertices=3).add_edge(0, 3)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(GraphValidationError):
+            GraphBuilder(num_vertices=3).add_edge("a", 0)
+
+
+class TestBuild:
+    def test_deduplicate(self):
+        g = GraphBuilder().add_edges([(0, 1), (0, 1), (1, 0)]).build(deduplicate=True)
+        assert g.num_edges == 2
+
+    def test_keeps_parallel_edges_by_default(self):
+        g = GraphBuilder().add_edges([(0, 1), (0, 1)]).build()
+        assert g.num_edges == 2
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(GraphValidationError):
+            GraphBuilder().build()
+
+    def test_edgeless_fixed_size_allowed(self):
+        g = GraphBuilder(num_vertices=4).build()
+        assert g.num_vertices == 4
+        assert g.num_edges == 0

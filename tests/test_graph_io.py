@@ -1,0 +1,163 @@
+"""Unit tests for graph readers/writers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Graph,
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+from repro.errors import GraphFormatError
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(tiny_graph, path)
+        back = read_edge_list(path)
+        assert back == tiny_graph
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n% other comment\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+        assert g.num_vertices == 3
+
+    def test_explicit_num_vertices(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_bad_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\nnope\n")
+        with pytest.raises(GraphFormatError, match=":2"):
+            read_edge_list(path)
+
+    def test_negative_id_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("-1 0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_empty_without_size_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(tiny_graph, path)
+        back = read_matrix_market(path)
+        assert back == tiny_graph
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 3\n"
+            "2 1\n"
+            "3 2\n"
+            "1 1\n"
+        )
+        g = read_matrix_market(path)
+        # two off-diagonal entries mirrored + one diagonal kept once
+        assert g.num_edges == 5
+        assert g.self_loops[0] == 1
+
+    def test_real_field_accepted(self, tmp_path):
+        path = tmp_path / "r.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 2 3.5\n"
+        )
+        g = read_matrix_market(path)
+        assert g.num_edges == 1
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("1 1 0\n")
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+    def test_non_square_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n2 3 0\n")
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+    def test_truncated_entries_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n")
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+    def test_unsupported_symmetry_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern hermitian\n2 2 0\n")
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+    def test_comment_lines_after_header(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% produced by hand\n"
+            "2 2 1\n"
+            "1 2\n"
+        )
+        g = read_matrix_market(path)
+        assert g.num_edges == 1
+
+
+class TestWeightedEdgeList:
+    def test_weights_expand(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+
+        path = tmp_path / "w.txt"
+        path.write_text("0 1 3\n1 2 2\n")
+        g = read_weighted_edge_list(path)
+        assert g.num_edges == 5
+        assert g.out_degree[0] == 3
+
+    def test_missing_weight_defaults_to_one(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+
+        path = tmp_path / "w.txt"
+        path.write_text("0 1\n1 2 4\n")
+        g = read_weighted_edge_list(path)
+        assert g.num_edges == 5
+
+    def test_negative_weight_rejected(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+
+        path = tmp_path / "w.txt"
+        path.write_text("0 1 -2\n")
+        with pytest.raises(GraphFormatError):
+            read_weighted_edge_list(path)
+
+    def test_non_integer_weight_rejected(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+
+        path = tmp_path / "w.txt"
+        path.write_text("0 1 x\n")
+        with pytest.raises(GraphFormatError):
+            read_weighted_edge_list(path)
+
+    def test_plain_edge_list_compatible(self, tiny_graph, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(tiny_graph, path)
+        assert read_weighted_edge_list(path) == tiny_graph

@@ -1,0 +1,59 @@
+"""Unit tests for graph statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import summarize
+from repro.graph.properties import degree_histogram, estimate_power_law_exponent
+from tests.conftest import make_line_graph
+
+
+class TestSummarize:
+    def test_fields(self, tiny_graph):
+        s = summarize(tiny_graph)
+        assert s.num_vertices == 8
+        assert s.num_edges == 14
+        assert s.self_loop_count == 1
+        assert s.mean_degree == pytest.approx(2 * 14 / 8)
+        assert s.max_out_degree >= 1
+
+    def test_as_row_keys(self, tiny_graph):
+        row = summarize(tiny_graph).as_row()
+        assert {"V", "E", "density", "mean_degree"} <= set(row)
+
+
+class TestPowerLawEstimator:
+    def test_recovers_exponent_roughly(self):
+        rng = np.random.default_rng(0)
+        # discrete sampling from p(k) ~ k^-2.5 on [1, 1000]
+        support = np.arange(1, 1001)
+        pmf = support.astype(float) ** -2.5
+        pmf /= pmf.sum()
+        degrees = rng.choice(support, size=20000, p=pmf)
+        alpha = estimate_power_law_exponent(degrees, d_min=1)
+        assert 2.2 < alpha < 2.8
+
+    def test_too_few_points_nan(self):
+        assert np.isnan(estimate_power_law_exponent(np.array([5])))
+
+    def test_all_below_dmin_nan(self):
+        assert np.isnan(estimate_power_law_exponent(np.array([0, 0, 0]), d_min=1))
+
+
+class TestDegreeHistogram:
+    def test_pmf_sums_to_fraction(self, tiny_graph):
+        values, pmf = degree_histogram(tiny_graph, "total")
+        assert pmf.sum() == pytest.approx(1.0)
+        assert (values >= 0).all()
+
+    def test_out_histogram(self):
+        g = make_line_graph(4)
+        values, pmf = degree_histogram(g, "out")
+        # three vertices with out-degree 1, one with 0
+        assert dict(zip(values.tolist(), pmf.tolist())) == {0: 0.25, 1: 0.75}
+
+    def test_bad_kind(self, tiny_graph):
+        with pytest.raises(ValueError):
+            degree_histogram(tiny_graph, "sideways")

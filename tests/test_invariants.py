@@ -1,0 +1,139 @@
+"""Cross-cutting property tests: invariants that must survive any input.
+
+These tie multiple subsystems together under hypothesis-generated
+graphs and states — the contracts that, if broken anywhere, silently
+corrupt inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Blockmodel, Graph, SBPConfig
+from repro.core.merge import block_merge_phase
+from repro.mcmc.async_gibbs import async_gibbs_sweep
+from repro.mcmc.metropolis import metropolis_sweep
+from repro.parallel.serial import SerialBackend
+from repro.parallel.vectorized import VectorizedBackend
+from repro.sbm.entropy import (
+    description_length,
+    normalized_description_length,
+    null_description_length,
+)
+from repro.utils.rng import SweepRandomness
+
+
+def _graph_strategy(draw, max_v=30, max_e=80):
+    n = draw(st.integers(3, max_v))
+    m = draw(st.integers(1, max_e))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, (m, 2)).astype(np.int64)
+    return Graph(n, edges), rng
+
+
+@st.composite
+def graph_and_state(draw):
+    graph, rng = _graph_strategy(draw)
+    blocks = draw(st.integers(1, min(6, graph.num_vertices)))
+    assignment = rng.integers(0, blocks, graph.num_vertices).astype(np.int64)
+    return graph, assignment, blocks, rng
+
+
+class TestEdgeConservation:
+    """The total edge count must survive every state transition."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_and_state())
+    def test_sweeps_conserve_edges(self, state):
+        graph, assignment, blocks, rng = state
+        bm = Blockmodel.from_assignment(graph, assignment, blocks)
+        E = graph.num_edges
+
+        rand = SweepRandomness.draw(1, 1, 0, graph.num_vertices)
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+        metropolis_sweep(bm, graph, vertices, rand, 3.0)
+        assert bm.num_edges == E
+
+        rand2 = SweepRandomness.draw(1, 2, 0, graph.num_vertices)
+        async_gibbs_sweep(bm, graph, vertices, rand2, 3.0, SerialBackend())
+        assert bm.num_edges == E
+        bm.check_consistency(graph)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_and_state(), st.integers(1, 3))
+    def test_merge_phase_conserves_edges(self, state, merges):
+        graph, assignment, blocks, rng = state
+        if blocks <= merges:
+            return
+        bm = Blockmodel.from_assignment(graph, assignment, blocks)
+        merged = block_merge_phase(bm, graph, merges, SBPConfig(seed=2), 1)
+        assert merged.num_edges == graph.num_edges
+        merged.check_consistency(graph)
+
+
+class TestMDLProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(graph_and_state())
+    def test_mdl_finite_and_normalization_positive(self, state):
+        graph, assignment, blocks, _ = state
+        bm = Blockmodel.from_assignment(graph, assignment, blocks)
+        mdl = bm.mdl(graph)
+        assert np.isfinite(mdl)
+        norm = normalized_description_length(mdl, graph.num_edges, graph.num_vertices)
+        assert np.isfinite(norm)
+        assert norm > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 500), st.integers(2, 100))
+    def test_null_mdl_is_single_block_mdl(self, num_edges, num_vertices):
+        B = np.array([[num_edges]], dtype=np.int64)
+        direct = description_length(
+            num_edges, num_vertices, B, B.sum(1), B.sum(0), num_blocks=1
+        )
+        assert direct == pytest.approx(null_description_length(num_edges, num_vertices))
+
+
+class TestBackendAgreementProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(graph_and_state(), st.integers(0, 2**31 - 1))
+    def test_serial_vs_vectorized_on_arbitrary_states(self, state, sweep_seed):
+        """Backend equality must hold for *any* graph/state, not just the
+        fixtures used elsewhere."""
+        graph, assignment, blocks, _ = state
+        bm = Blockmodel.from_assignment(graph, assignment, blocks)
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+        rand = SweepRandomness.draw(sweep_seed, 1, 0, graph.num_vertices)
+        a1, t1 = SerialBackend().evaluate_sweep(bm, graph, vertices, rand.uniforms, 3.0)
+        a2, t2 = VectorizedBackend().evaluate_sweep(bm, graph, vertices, rand.uniforms, 3.0)
+        np.testing.assert_array_equal(t1, t2)
+        np.testing.assert_array_equal(a1, a2)
+
+
+class TestAssignmentValidity:
+    @settings(max_examples=20, deadline=None)
+    @given(graph_and_state())
+    def test_sweeps_keep_assignment_in_range(self, state):
+        graph, assignment, blocks, _ = state
+        bm = Blockmodel.from_assignment(graph, assignment, blocks)
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+        for sweep in range(2):
+            rand = SweepRandomness.draw(4, 1, sweep, graph.num_vertices)
+            async_gibbs_sweep(bm, graph, vertices, rand, 3.0, VectorizedBackend())
+            assert bm.assignment.min() >= 0
+            assert bm.assignment.max() < bm.num_blocks
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_and_state())
+    def test_compact_preserves_partition_structure(self, state):
+        """Compaction relabels but never regroups."""
+        from repro.metrics import normalized_mutual_information
+
+        graph, assignment, blocks, _ = state
+        bm = Blockmodel.from_assignment(graph, assignment, blocks)
+        before = bm.assignment.copy()
+        bm.compact()
+        assert normalized_mutual_information(before, bm.assignment) == pytest.approx(1.0)

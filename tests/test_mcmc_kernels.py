@@ -1,0 +1,188 @@
+"""Unit/integration tests for the three MCMC sweep kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Blockmodel
+from repro.mcmc.async_gibbs import async_gibbs_sweep
+from repro.mcmc.evaluate import evaluate_vertex
+from repro.mcmc.hybrid import hybrid_sweep, split_vertices_by_degree
+from repro.mcmc.metropolis import metropolis_sweep
+from repro.parallel.serial import SerialBackend
+from repro.parallel.vectorized import VectorizedBackend
+from repro.utils.rng import SweepRandomness
+from repro.utils.timer import Timer
+
+
+@pytest.fixture
+def state(medium_graph):
+    graph, truth = medium_graph
+    rng = np.random.default_rng(8)
+    assignment = rng.integers(0, 8, graph.num_vertices)
+    return graph, Blockmodel.from_assignment(graph, assignment, 8)
+
+
+def _vertices(graph):
+    return np.arange(graph.num_vertices, dtype=np.int64)
+
+
+class TestEvaluateVertex:
+    def test_never_mutates_state(self, state):
+        graph, bm = state
+        before_B = bm.B.copy()
+        before_assign = bm.assignment.copy()
+        rand = SweepRandomness.draw(1, 0, 0, graph.num_vertices)
+        for v in range(0, graph.num_vertices, 11):
+            evaluate_vertex(bm, graph, v, rand.uniforms[v], 3.0)
+        np.testing.assert_array_equal(bm.B, before_B)
+        np.testing.assert_array_equal(bm.assignment, before_assign)
+
+    def test_same_block_proposal_rejected(self, state):
+        graph, bm = state
+        # force the uniform branch onto the current block
+        v = 0
+        r = int(bm.assignment[v])
+        C = bm.num_blocks
+        uniforms = np.array([0.5, 0.0, 0.5, (r + 0.5) / C, 0.0])
+        decision = evaluate_vertex(bm, graph, v, uniforms, 3.0)
+        assert decision.target == r
+        assert not decision.accepted
+
+
+class TestMetropolisSweep:
+    def test_updates_in_place_consistently(self, state):
+        graph, bm = state
+        rand = SweepRandomness.draw(2, 1, 0, graph.num_vertices)
+        stats = metropolis_sweep(bm, graph, _vertices(graph), rand, 3.0)
+        bm.check_consistency(graph)
+        assert stats.proposals == graph.num_vertices
+        assert 0 <= stats.accepted <= stats.proposals
+
+    def test_reduces_mdl_from_random_state(self, state):
+        graph, bm = state
+        before = bm.mdl(graph)
+        for sweep in range(3):
+            rand = SweepRandomness.draw(3, 1, sweep, graph.num_vertices)
+            metropolis_sweep(bm, graph, _vertices(graph), rand, 3.0)
+        assert bm.mdl(graph) < before
+
+    def test_work_recording(self, state):
+        graph, bm = state
+        rand = SweepRandomness.draw(4, 1, 0, graph.num_vertices)
+        stats = metropolis_sweep(
+            bm, graph, _vertices(graph), rand, 3.0, record_work=True
+        )
+        assert stats.work_per_vertex is not None
+        assert stats.work_per_vertex.sum() == stats.serial_work
+        assert stats.parallel_work == 0.0
+
+    def test_randomness_too_short_rejected(self, state):
+        graph, bm = state
+        rand = SweepRandomness.draw(5, 1, 0, 3)
+        with pytest.raises(ValueError):
+            metropolis_sweep(bm, graph, _vertices(graph), rand, 3.0)
+
+
+class TestAsyncGibbsSweep:
+    def test_rebuild_keeps_consistency(self, state):
+        graph, bm = state
+        rand = SweepRandomness.draw(6, 2, 0, graph.num_vertices)
+        stats = async_gibbs_sweep(
+            bm, graph, _vertices(graph), rand, 3.0, SerialBackend()
+        )
+        bm.check_consistency(graph)
+        assert stats.parallel_work > 0
+        assert stats.serial_work == 0.0
+
+    def test_rebuild_timer_accrues(self, state):
+        graph, bm = state
+        rand = SweepRandomness.draw(7, 2, 0, graph.num_vertices)
+        timer = Timer()
+        async_gibbs_sweep(
+            bm, graph, _vertices(graph), rand, 3.0, SerialBackend(),
+            rebuild_timer=timer,
+        )
+        assert timer.elapsed > 0.0
+
+    def test_reduces_mdl_from_random_state(self, state):
+        graph, bm = state
+        before = bm.mdl(graph)
+        backend = VectorizedBackend()
+        for sweep in range(3):
+            rand = SweepRandomness.draw(8, 2, sweep, graph.num_vertices)
+            async_gibbs_sweep(bm, graph, _vertices(graph), rand, 3.0, backend)
+        assert bm.mdl(graph) < before
+
+    def test_subset_of_vertices_only(self, state):
+        graph, bm = state
+        frozen = bm.assignment.copy()
+        subset = np.arange(0, 30, dtype=np.int64)
+        rand = SweepRandomness.draw(9, 2, 0, len(subset))
+        async_gibbs_sweep(bm, graph, subset, rand, 3.0, SerialBackend())
+        # vertices outside the subset must not move
+        np.testing.assert_array_equal(bm.assignment[30:], frozen[30:])
+
+
+class TestSplitByDegree:
+    def test_fraction_sizes(self, medium_graph):
+        graph, _ = medium_graph
+        vstar, vminus = split_vertices_by_degree(graph, 0.15)
+        assert len(vstar) == int(np.ceil(0.15 * graph.num_vertices))
+        assert len(vstar) + len(vminus) == graph.num_vertices
+        assert np.intersect1d(vstar, vminus).size == 0
+
+    def test_vstar_has_max_degrees(self, medium_graph):
+        graph, _ = medium_graph
+        vstar, vminus = split_vertices_by_degree(graph, 0.1)
+        assert graph.degree[vstar].min() >= graph.degree[vminus].max()
+
+    def test_zero_fraction(self, medium_graph):
+        graph, _ = medium_graph
+        vstar, vminus = split_vertices_by_degree(graph, 0.0)
+        assert len(vstar) == 0
+        assert len(vminus) == graph.num_vertices
+
+    def test_full_fraction(self, medium_graph):
+        graph, _ = medium_graph
+        vstar, vminus = split_vertices_by_degree(graph, 1.0)
+        assert len(vstar) == graph.num_vertices
+        assert len(vminus) == 0
+
+    def test_descending_order(self, medium_graph):
+        graph, _ = medium_graph
+        vstar, _ = split_vertices_by_degree(graph, 0.2)
+        degrees = graph.degree[vstar]
+        assert (np.diff(degrees) <= 0).all()
+
+    def test_bad_fraction_rejected(self, medium_graph):
+        graph, _ = medium_graph
+        with pytest.raises(ValueError):
+            split_vertices_by_degree(graph, 1.5)
+
+
+class TestHybridSweep:
+    def test_consistency_and_split_work(self, state):
+        graph, bm = state
+        vstar, vminus = split_vertices_by_degree(graph, 0.15)
+        rs = SweepRandomness.draw(10, 1, 0, len(vstar))
+        ra = SweepRandomness.draw(10, 2, 0, len(vminus))
+        stats = hybrid_sweep(
+            bm, graph, vstar, vminus, rs, ra, 3.0, SerialBackend()
+        )
+        bm.check_consistency(graph)
+        assert stats.serial_work > 0
+        assert stats.parallel_work > 0
+        assert stats.proposals == graph.num_vertices
+
+    def test_reduces_mdl(self, state):
+        graph, bm = state
+        vstar, vminus = split_vertices_by_degree(graph, 0.15)
+        backend = VectorizedBackend()
+        before = bm.mdl(graph)
+        for sweep in range(3):
+            rs = SweepRandomness.draw(11, 1, sweep, len(vstar))
+            ra = SweepRandomness.draw(11, 2, sweep, len(vminus))
+            hybrid_sweep(bm, graph, vstar, vminus, rs, ra, 3.0, backend)
+        assert bm.mdl(graph) < before

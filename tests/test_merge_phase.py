@@ -1,0 +1,76 @@
+"""Unit tests for the block-merge phase (Alg. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Blockmodel, SBPConfig
+from repro.core.merge import block_merge_phase
+
+
+@pytest.fixture
+def singleton_state(planted_graph):
+    graph, truth = planted_graph
+    return graph, Blockmodel.singleton(graph), truth
+
+
+class TestBlockMergePhase:
+    def test_halves_blocks(self, singleton_state):
+        graph, bm, _ = singleton_state
+        C = bm.num_blocks
+        merged = block_merge_phase(bm, graph, C // 2, SBPConfig(seed=1), iteration=1)
+        assert merged.num_blocks == C - C // 2
+        merged.check_consistency(graph)
+
+    def test_original_untouched(self, singleton_state):
+        graph, bm, _ = singleton_state
+        before = bm.B.copy()
+        block_merge_phase(bm, graph, 10, SBPConfig(seed=1), iteration=1)
+        np.testing.assert_array_equal(bm.B, before)
+
+    def test_zero_merges_copy(self, singleton_state):
+        graph, bm, _ = singleton_state
+        out = block_merge_phase(bm, graph, 0, SBPConfig(seed=1), iteration=1)
+        assert out is not bm
+        assert out.num_blocks == bm.num_blocks
+
+    def test_cannot_merge_below_one(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        out = block_merge_phase(bm, tiny_graph, 99, SBPConfig(seed=1), iteration=1)
+        assert out.num_blocks == 1
+
+    def test_deterministic_per_seed(self, singleton_state):
+        graph, bm, _ = singleton_state
+        a = block_merge_phase(bm, graph, 20, SBPConfig(seed=7), iteration=2)
+        b = block_merge_phase(bm, graph, 20, SBPConfig(seed=7), iteration=2)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_different_seeds_differ(self, singleton_state):
+        graph, bm, _ = singleton_state
+        a = block_merge_phase(bm, graph, 20, SBPConfig(seed=7), iteration=2)
+        b = block_merge_phase(bm, graph, 20, SBPConfig(seed=8), iteration=2)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+    def test_dense_relabeling(self, singleton_state):
+        graph, bm, _ = singleton_state
+        merged = block_merge_phase(bm, graph, 30, SBPConfig(seed=3), iteration=1)
+        labels = np.unique(merged.assignment)
+        np.testing.assert_array_equal(labels, np.arange(merged.num_blocks))
+
+    def test_merges_respect_structure(self, planted_graph):
+        """Merging singletons on a planted graph should mostly join
+        vertices of the same true community: with min-normalization a
+        strict refinement of the truth scores 1.0, so the merged
+        partition must stay well above chance."""
+        from repro.metrics import normalized_mutual_information
+
+        graph, truth = planted_graph
+        bm = Blockmodel.singleton(graph)
+        merged = block_merge_phase(
+            bm, graph, graph.num_vertices // 2, SBPConfig(seed=5), iteration=1
+        )
+        homogeneity = normalized_mutual_information(
+            truth, merged.assignment, norm="min"
+        )
+        assert homogeneity > 0.5

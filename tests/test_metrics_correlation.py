@@ -1,0 +1,48 @@
+"""Unit tests for the Fig. 3 correlation fits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import fit_correlation
+
+
+class TestFitCorrelation:
+    def test_perfect_line(self):
+        x = np.linspace(0, 1, 20)
+        fit = fit_correlation(x, 2 * x + 1)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.p_value < 1e-10
+
+    def test_noise_low_r2(self):
+        rng = np.random.default_rng(0)
+        fit = fit_correlation(rng.random(100), rng.random(100))
+        assert fit.r_squared < 0.1
+
+    def test_stronger_signal_higher_r2(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(0, 1, 200)
+        tight = fit_correlation(x, x + rng.normal(0, 0.05, 200))
+        loose = fit_correlation(x, x + rng.normal(0, 0.5, 200))
+        assert tight.r_squared > loose.r_squared
+
+    def test_n_recorded(self):
+        fit = fit_correlation([1, 2, 3, 4], [1, 2, 3, 5])
+        assert fit.n == 4
+
+    def test_describe(self):
+        fit = fit_correlation([1, 2, 3], [1, 2, 3])
+        text = fit.describe("NMI~MDL")
+        assert "NMI~MDL" in text
+        assert "r^2=" in text
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_correlation([1, 2], [1, 2])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_correlation([1, 2, 3], [1, 2])

@@ -1,0 +1,112 @@
+"""Unit tests for total influence (Eq. 3) and the degree heuristic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DCSBMParams, Graph, generate_dcsbm, total_influence
+from repro.metrics.influence import (
+    conditional_distribution,
+    degree_influence_scores,
+    exerted_influence,
+    influence_degree_correlation,
+    pair_influence_matrix,
+)
+from repro.sbm.blockmodel import Blockmodel
+
+
+@pytest.fixture(scope="module")
+def small_planted():
+    return generate_dcsbm(
+        DCSBMParams(num_vertices=25, num_communities=3,
+                    within_between_ratio=6.0, mean_degree=5.0),
+        seed=33,
+    )
+
+
+class TestConditional:
+    def test_is_distribution(self, small_planted):
+        graph, truth = small_planted
+        bm = Blockmodel.from_assignment(graph, truth)
+        for v in range(graph.num_vertices):
+            p = conditional_distribution(bm, graph, v, beta=1.0)
+            assert p.shape == (bm.num_blocks,)
+            assert p.sum() == pytest.approx(1.0)
+            assert (p >= 0).all()
+
+    def test_prefers_current_structure(self, small_planted):
+        """Under a fitted state, most vertices' conditionals favour their
+        own community."""
+        graph, truth = small_planted
+        bm = Blockmodel.from_assignment(graph, truth)
+        hits = sum(
+            int(np.argmax(conditional_distribution(bm, graph, v, 1.0)) == truth[v])
+            for v in range(graph.num_vertices)
+        )
+        assert hits > graph.num_vertices * 0.6
+
+
+class TestTotalInfluence:
+    def test_nonnegative(self, small_planted):
+        graph, truth = small_planted
+        alpha = total_influence(graph, truth, beta=1.0)
+        assert alpha >= 0.0
+
+    def test_per_vertex_vector(self, small_planted):
+        graph, truth = small_planted
+        vec = total_influence(graph, truth, beta=1.0, per_vertex=True)
+        assert vec.shape == (graph.num_vertices,)
+        assert float(vec.max()) == pytest.approx(
+            total_influence(graph, truth, beta=1.0)
+        )
+
+    def test_isolated_vertices_zero_influence(self):
+        """A graph with no edges: no vertex can influence another."""
+        graph = Graph(6, np.empty((0, 2), dtype=np.int64))
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert total_influence(graph, labels, beta=1.0) == pytest.approx(0.0)
+
+    def test_guardrail_on_large_graphs(self):
+        graph = Graph(300, np.array([[0, 1]], dtype=np.int64))
+        with pytest.raises(ValueError, match="refusing"):
+            total_influence(graph, np.zeros(300, dtype=np.int64))
+
+    def test_pair_matrix_shape_and_diagonal(self, small_planted):
+        graph, truth = small_planted
+        M = pair_influence_matrix(graph, truth, beta=1.0)
+        assert M.shape == (graph.num_vertices, graph.num_vertices)
+        assert np.diag(M).sum() == 0.0
+        assert (M >= 0).all()
+        assert (M <= 1.0 + 1e-9).all()  # TV distance is bounded by 1
+
+    def test_exerted_is_column_sum(self, small_planted):
+        graph, truth = small_planted
+        M = pair_influence_matrix(graph, truth, beta=1.0)
+        np.testing.assert_allclose(
+            exerted_influence(graph, truth, beta=1.0), M.sum(axis=0)
+        )
+
+    def test_beta_zero_flattens(self, small_planted):
+        """beta -> 0 makes all conditionals uniform, hence no influence."""
+        graph, truth = small_planted
+        alpha = total_influence(graph, truth, beta=1e-12)
+        assert alpha == pytest.approx(0.0, abs=1e-6)
+
+
+class TestDegreeHeuristic:
+    def test_scores_normalized(self, small_planted):
+        graph, _ = small_planted
+        scores = degree_influence_scores(graph)
+        assert scores.max() == pytest.approx(1.0)
+        assert scores.min() >= 0.0
+
+    def test_empty_graph(self):
+        graph = Graph(4, np.empty((0, 2), dtype=np.int64))
+        assert degree_influence_scores(graph).tolist() == [0.0] * 4
+
+    def test_degree_correlates_with_influence(self, small_planted):
+        """The paper's §3.2 assumption, verified empirically (E1 bench)."""
+        graph, truth = small_planted
+        rho = influence_degree_correlation(graph, truth, beta=1.0)
+        assert rho > 0.3

@@ -1,0 +1,123 @@
+"""Unit/property tests for NMI, entropy and mutual information."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.nmi import (
+    contingency_table,
+    entropy,
+    mutual_information,
+    normalized_mutual_information,
+)
+
+labelings = st.lists(st.integers(0, 4), min_size=2, max_size=40).map(
+    lambda xs: np.asarray(xs, dtype=np.int64)
+)
+
+
+class TestContingency:
+    def test_counts(self):
+        x = np.array([0, 0, 1, 1])
+        y = np.array([0, 1, 1, 1])
+        table = contingency_table(x, y)
+        assert table.tolist() == [[1, 1], [0, 2]]
+
+    def test_densifies_labels(self):
+        x = np.array([10, 10, 99])
+        y = np.array([5, 7, 7])
+        table = contingency_table(x, y)
+        assert table.shape == (2, 2)
+        assert table.sum() == 3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            contingency_table(np.array([0, 1]), np.array([0]))
+
+
+class TestEntropy:
+    def test_uniform(self):
+        assert entropy(np.array([0, 1, 2, 3])) == pytest.approx(np.log(4))
+
+    def test_constant_zero(self):
+        assert entropy(np.array([7, 7, 7])) == 0.0
+
+    def test_empty(self):
+        assert entropy(np.array([], dtype=np.int64)) == 0.0
+
+
+class TestMutualInformation:
+    def test_identical_equals_entropy(self):
+        x = np.array([0, 0, 1, 2, 2, 2])
+        assert mutual_information(x, x) == pytest.approx(entropy(x))
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 3, 30000)
+        y = rng.integers(0, 3, 30000)
+        assert mutual_information(x, y) < 0.001
+
+    @settings(max_examples=50, deadline=None)
+    @given(labelings, labelings)
+    def test_nonnegative_and_symmetric(self, x, y):
+        n = min(len(x), len(y))
+        x, y = x[:n], y[:n]
+        mi = mutual_information(x, y)
+        assert mi >= 0.0
+        assert mi == pytest.approx(mutual_information(y, x))
+
+    @settings(max_examples=50, deadline=None)
+    @given(labelings)
+    def test_bounded_by_entropy(self, x):
+        assert mutual_information(x, x) <= entropy(x) + 1e-12
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        x = np.array([0, 1, 1, 2, 0])
+        for norm in ("max", "min", "sqrt", "mean"):
+            assert normalized_mutual_information(x, x, norm) == pytest.approx(1.0)
+
+    def test_relabeling_invariant(self):
+        x = np.array([0, 0, 1, 1, 2, 2])
+        y = np.array([5, 5, 3, 3, 9, 9])
+        assert normalized_mutual_information(x, y) == pytest.approx(1.0)
+
+    def test_both_constant(self):
+        x = np.zeros(5, dtype=np.int64)
+        assert normalized_mutual_information(x, x) == 1.0
+
+    def test_one_constant(self):
+        x = np.zeros(6, dtype=np.int64)
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert normalized_mutual_information(x, y) == 0.0
+
+    def test_norm_ordering(self):
+        """min-normalized >= sqrt/mean >= max-normalized."""
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 3, 200)
+        y = np.where(rng.random(200) < 0.8, x, rng.integers(0, 5, 200))
+        nmi_max = normalized_mutual_information(x, y, "max")
+        nmi_min = normalized_mutual_information(x, y, "min")
+        nmi_sqrt = normalized_mutual_information(x, y, "sqrt")
+        assert nmi_min >= nmi_sqrt >= nmi_max
+
+    def test_refinement_scores_one_under_min_norm(self):
+        coarse = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        fine = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        assert normalized_mutual_information(coarse, fine, "min") == pytest.approx(1.0)
+        assert normalized_mutual_information(coarse, fine, "max") < 1.0
+
+    def test_unknown_norm(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(np.array([0, 1]), np.array([0, 1]), "l2")
+
+    @settings(max_examples=50, deadline=None)
+    @given(labelings, labelings)
+    def test_in_unit_interval(self, x, y):
+        n = min(len(x), len(y))
+        value = normalized_mutual_information(x[:n], y[:n])
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,75 @@
+"""Unit tests for modularity and MDL-based quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Graph, partition_mdl, partition_normalized_mdl
+from repro.metrics.modularity import directed_modularity
+
+
+class TestDirectedModularity:
+    def test_two_cliques(self, tiny_graph, tiny_truth):
+        q = directed_modularity(tiny_graph, tiny_truth)
+        assert q > 0.3
+
+    def test_single_community_zero(self, tiny_graph):
+        q = directed_modularity(
+            tiny_graph, np.zeros(tiny_graph.num_vertices, dtype=np.int64)
+        )
+        assert q == pytest.approx(0.0)
+
+    def test_matches_networkx(self, medium_graph):
+        nx = pytest.importorskip("networkx")
+        graph, truth = medium_graph
+        q_ours = directed_modularity(graph, truth)
+
+        G = nx.MultiDiGraph()
+        G.add_nodes_from(range(graph.num_vertices))
+        G.add_edges_from(map(tuple, graph.edges))
+        communities = [
+            set(np.nonzero(truth == c)[0].tolist()) for c in range(truth.max() + 1)
+        ]
+        q_nx = nx.algorithms.community.modularity(G, communities)
+        assert q_ours == pytest.approx(q_nx, abs=1e-9)
+
+    def test_empty_graph(self):
+        g = Graph(3, np.empty((0, 2), dtype=np.int64))
+        assert directed_modularity(g, np.array([0, 1, 2])) == 0.0
+
+    def test_shape_mismatch(self, tiny_graph):
+        with pytest.raises(ValueError):
+            directed_modularity(tiny_graph, np.array([0, 1]))
+
+    def test_bad_partition_scores_lower(self, planted_graph):
+        graph, truth = planted_graph
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(truth)
+        assert directed_modularity(graph, truth) > directed_modularity(
+            graph, shuffled
+        )
+
+
+class TestPartitionMDL:
+    def test_truth_beats_random(self, planted_graph):
+        graph, truth = planted_graph
+        rng = np.random.default_rng(1)
+        random_labels = rng.integers(0, 3, graph.num_vertices)
+        assert partition_mdl(graph, truth) < partition_mdl(graph, random_labels)
+
+    def test_normalized_single_block_is_one(self, tiny_graph):
+        labels = np.zeros(tiny_graph.num_vertices, dtype=np.int64)
+        assert partition_normalized_mdl(tiny_graph, labels) == pytest.approx(1.0)
+
+    def test_structure_below_one(self, planted_graph):
+        graph, truth = planted_graph
+        assert partition_normalized_mdl(graph, truth) < 1.0
+
+    def test_sparse_labels_compacted(self, tiny_graph):
+        """Labels 0/7 must behave like labels 0/1 after compaction."""
+        sparse = np.array([0, 0, 0, 0, 7, 7, 7, 7])
+        dense = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        assert partition_mdl(tiny_graph, sparse) == pytest.approx(
+            partition_mdl(tiny_graph, dense)
+        )

@@ -1,0 +1,125 @@
+"""Unit tests for proposal distributions and MH acceptance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Blockmodel, Graph
+from repro.sbm.moves import (
+    accept_probability,
+    propose_block_merge,
+    propose_vertex_move,
+)
+
+
+@pytest.fixture
+def state(medium_graph):
+    graph, _ = medium_graph
+    rng = np.random.default_rng(2)
+    assignment = rng.integers(0, 6, graph.num_vertices)
+    return graph, Blockmodel.from_assignment(graph, assignment, 6)
+
+
+class TestVertexProposal:
+    def test_in_range(self, state):
+        graph, bm = state
+        rng = np.random.default_rng(0)
+        for v in range(0, graph.num_vertices, 7):
+            s = propose_vertex_move(bm, graph, v, rng.random(5))
+            assert 0 <= s < bm.num_blocks
+
+    def test_isolated_vertex_uniform(self):
+        graph = Graph(4, np.array([[0, 1]], dtype=np.int64))
+        bm = Blockmodel.from_assignment(graph, np.array([0, 1, 2, 2]), 3)
+        # vertex 3 has no edges: proposal must come from uniforms[3]
+        assert propose_vertex_move(bm, graph, 3, np.array([0.9, 0.9, 0.9, 0.0])) == 0
+        assert propose_vertex_move(bm, graph, 3, np.array([0.9, 0.9, 0.9, 0.99])) == 2
+
+    def test_mixture_takes_uniform_branch(self, state):
+        graph, bm = state
+        # uniforms[1] = 0 always falls below C/(d_u + C)
+        uniforms = np.array([0.5, 0.0, 0.5, 0.42])
+        s = propose_vertex_move(bm, graph, 0, uniforms)
+        assert s == int(0.42 * bm.num_blocks)
+
+    def test_multinomial_branch_biased_to_connected_blocks(self, state):
+        graph, bm = state
+        # With uniforms[1] = 1.0 the exploit branch always fires; the drawn
+        # block must then have nonzero row/col mass around the neighbour's
+        # block (a weak but deterministic sanity check).
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            u = rng.random(5)
+            u[1] = 0.999999
+            v = int(rng.integers(graph.num_vertices))
+            if graph.degree[v] == 0:
+                continue
+            s = propose_vertex_move(bm, graph, v, u)
+            assert 0 <= s < bm.num_blocks
+
+    def test_deterministic_given_uniforms(self, state):
+        graph, bm = state
+        u = np.array([0.3, 0.9, 0.7, 0.1, 0.5])
+        assert propose_vertex_move(bm, graph, 5, u) == propose_vertex_move(
+            bm, graph, 5, u
+        )
+
+
+class TestMergeProposal:
+    def test_never_self(self, state):
+        _, bm = state
+        rng = np.random.default_rng(3)
+        for r in range(bm.num_blocks):
+            for _ in range(20):
+                s = propose_block_merge(bm, r, rng.random(4))
+                assert s != r
+                assert 0 <= s < bm.num_blocks
+
+    def test_isolated_block_uniform_other(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth, num_blocks=3)
+        # block 2 is empty: must fall back to a uniform other block
+        s = propose_block_merge(bm, 2, np.array([0.1, 0.1, 0.1, 0.0]))
+        assert s in (0, 1)
+
+    def test_two_blocks_always_other(self, tiny_graph, tiny_truth):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            assert propose_block_merge(bm, 0, rng.random(4)) == 1
+
+    def test_single_block_rejected(self, tiny_graph):
+        bm = Blockmodel.from_assignment(
+            tiny_graph, np.zeros(tiny_graph.num_vertices, dtype=np.int64), 1
+        )
+        with pytest.raises(ValueError):
+            propose_block_merge(bm, 0, np.zeros(4))
+
+
+class TestAcceptProbability:
+    def test_improvement_always_accepted(self):
+        assert accept_probability(-5.0, 1.0, 3.0) == 1.0
+
+    def test_neutral_move_unit(self):
+        assert accept_probability(0.0, 1.0, 3.0) == 1.0
+
+    def test_worse_move_discounted(self):
+        p = accept_probability(1.0, 1.0, 3.0)
+        assert p == pytest.approx(np.exp(-3.0))
+
+    def test_beta_sharpens(self):
+        assert accept_probability(1.0, 1.0, 5.0) < accept_probability(1.0, 1.0, 1.0)
+
+    def test_hastings_rescues_worse_move(self):
+        assert accept_probability(1.0, np.exp(3.0), 3.0) == 1.0
+
+    def test_zero_hastings(self):
+        assert accept_probability(-1.0, 0.0, 3.0) == 0.0
+
+    def test_extreme_delta_underflow_guard(self):
+        assert accept_probability(1e6, 1.0, 3.0) == 0.0
+
+    def test_monotone_in_delta(self):
+        deltas = [0.0, 0.5, 1.0, 2.0, 4.0]
+        probs = [accept_probability(d, 1.0, 3.0) for d in deltas]
+        assert all(b <= a for a, b in zip(probs, probs[1:]))

@@ -1,0 +1,118 @@
+"""Unit tests for the golden-section search over the number of blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Blockmodel, Graph
+from repro.core.partition_search import GoldenSectionSearch
+
+
+def _bm_with_blocks(num_blocks: int) -> Blockmodel:
+    """A dummy blockmodel whose only relevant property is num_blocks."""
+    n = max(num_blocks, 2)
+    edges = np.stack(
+        [np.arange(n, dtype=np.int64), np.roll(np.arange(n, dtype=np.int64), 1)],
+        axis=1,
+    )
+    graph = Graph(n, edges)
+    assignment = np.arange(n, dtype=np.int64) % num_blocks
+    return Blockmodel.from_assignment(graph, assignment, num_blocks)
+
+
+class TestReductionStage:
+    def test_first_update_halves(self):
+        search = GoldenSectionSearch(reduction_rate=0.5)
+        step = search.update(_bm_with_blocks(64), 1000.0)
+        assert not step.done
+        assert step.target_blocks == 32
+        assert step.num_merges == 32
+        assert step.start.num_blocks == 64
+
+    def test_keeps_halving_while_improving(self):
+        search = GoldenSectionSearch(reduction_rate=0.5)
+        search.update(_bm_with_blocks(64), 1000.0)
+        step = search.update(_bm_with_blocks(32), 900.0)
+        assert step.target_blocks == 16
+        assert not search.bracket_established
+
+    def test_worse_smaller_candidate_establishes_bracket(self):
+        search = GoldenSectionSearch(reduction_rate=0.5)
+        search.update(_bm_with_blocks(64), 1000.0)
+        search.update(_bm_with_blocks(32), 900.0)
+        search.update(_bm_with_blocks(16), 950.0)  # worse: bracket formed
+        assert search.bracket_established
+        assert search.best.num_blocks == 32
+
+    def test_custom_rate(self):
+        search = GoldenSectionSearch(reduction_rate=0.7)
+        step = search.update(_bm_with_blocks(100), 500.0)
+        assert step.target_blocks == 70
+
+
+class TestGoldenStage:
+    def _bracketed(self):
+        search = GoldenSectionSearch(reduction_rate=0.5)
+        search.update(_bm_with_blocks(64), 1000.0)
+        search.update(_bm_with_blocks(32), 900.0)
+        search.update(_bm_with_blocks(16), 950.0)
+        return search
+
+    def test_next_target_inside_bracket(self):
+        search = self._bracketed()
+        step = search.update(_bm_with_blocks(24), 905.0)  # worse, between 16 and 32
+        assert not step.done
+        assert 16 < step.target_blocks < 64
+        assert step.num_merges == step.start.num_blocks - step.target_blocks
+
+    def test_terminates_when_bracket_width_two(self):
+        search = GoldenSectionSearch()
+        search.update(_bm_with_blocks(5), 100.0)
+        search.update(_bm_with_blocks(4), 90.0)
+        step = search.update(_bm_with_blocks(3), 95.0)
+        # bracket is (3, 4, 5): width 2 -> done
+        assert step.done
+        assert search.best.num_blocks == 4
+
+    def test_search_converges_on_quadratic_mdl(self):
+        """Driving the search with a quadratic MDL(C) must find the minimum."""
+        optimum = 23
+
+        def mdl(c: int) -> float:
+            return (c - optimum) ** 2 + 10.0
+
+        search = GoldenSectionSearch(reduction_rate=0.5)
+        bm = _bm_with_blocks(128)
+        step = search.update(bm, mdl(128))
+        iterations = 0
+        while not step.done and iterations < 60:
+            c = step.target_blocks
+            step = search.update(_bm_with_blocks(c), mdl(c))
+            iterations += 1
+        assert step.done
+        assert abs(search.best.num_blocks - optimum) <= 1
+
+    def test_stored_partitions_are_copies(self):
+        search = GoldenSectionSearch()
+        bm = _bm_with_blocks(10)
+        search.update(bm, 50.0)
+        bm.assignment[:] = 0  # mutate caller's copy
+        assert search.best.assignment.max() > 0
+
+
+class TestEdgeCases:
+    def test_best_before_any_update(self):
+        with pytest.raises(RuntimeError):
+            GoldenSectionSearch().best
+
+    def test_single_block_terminates(self):
+        search = GoldenSectionSearch()
+        step = search.update(_bm_with_blocks(1), 10.0)
+        assert step.done
+
+    def test_two_blocks_progresses_to_one(self):
+        search = GoldenSectionSearch()
+        step = search.update(_bm_with_blocks(2), 10.0)
+        assert not step.done
+        assert step.target_blocks == 1

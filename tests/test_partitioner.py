@@ -1,0 +1,92 @@
+"""Unit/property tests for work partitioning strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.partitioner import balanced_chunks, chunk_loads, contiguous_chunks
+
+
+class TestContiguousChunks:
+    def test_even_split(self):
+        assert contiguous_chunks(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_split_front_loaded(self):
+        chunks = contiguous_chunks(10, 3)
+        sizes = [stop - start for start, stop in chunks]
+        assert sizes == [4, 3, 3]
+
+    def test_more_parts_than_items(self):
+        chunks = contiguous_chunks(3, 8)
+        assert len(chunks) == 3
+        assert chunks == [(0, 1), (1, 2), (2, 3)]
+
+    def test_zero_items(self):
+        assert contiguous_chunks(0, 4) == []
+
+    def test_bad_parts(self):
+        with pytest.raises(ValueError):
+            contiguous_chunks(5, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 500), st.integers(1, 64))
+    def test_partition_properties(self, count, parts):
+        chunks = contiguous_chunks(count, parts)
+        covered = [i for start, stop in chunks for i in range(start, stop)]
+        assert covered == list(range(count))
+        sizes = [stop - start for start, stop in chunks]
+        if sizes:
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestBalancedChunks:
+    def test_covers_all_items(self):
+        weights = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        bins = balanced_chunks(weights, 2)
+        all_items = sorted(int(i) for b in bins for i in b)
+        assert all_items == [0, 1, 2, 3, 4]
+
+    def test_better_than_static_on_skew(self):
+        """LPT must beat contiguous chunking on a power-law-ish skew."""
+        rng = np.random.default_rng(0)
+        weights = rng.pareto(1.5, 200) + 1.0
+        static_makespan = chunk_loads(weights, 8, "static").max()
+        balanced_makespan = chunk_loads(weights, 8, "balanced").max()
+        assert balanced_makespan <= static_makespan
+
+    def test_single_bin(self):
+        weights = np.array([1.0, 2.0])
+        bins = balanced_chunks(weights, 1)
+        assert len(bins) == 1
+        assert sorted(bins[0].tolist()) == [0, 1]
+
+    def test_bad_parts(self):
+        with pytest.raises(ValueError):
+            balanced_chunks(np.ones(3), 0)
+
+
+class TestChunkLoads:
+    def test_total_preserved(self):
+        weights = np.arange(1, 11, dtype=np.float64)
+        for schedule in ("static", "balanced"):
+            loads = chunk_loads(weights, 4, schedule)
+            assert loads.sum() == pytest.approx(weights.sum())
+            assert loads.shape == (4,)
+
+    def test_empty_bins_padded(self):
+        loads = chunk_loads(np.ones(2), 5, "static")
+        assert loads.shape == (5,)
+        assert (loads == 0).sum() == 3
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            chunk_loads(np.ones(4), 2, "dynamic")
+
+    def test_makespan_decreases_with_threads(self):
+        rng = np.random.default_rng(1)
+        weights = rng.pareto(2.0, 500) + 1.0
+        makespans = [chunk_loads(weights, p, "static").max() for p in (1, 2, 4, 8)]
+        assert all(b <= a for a, b in zip(makespans, makespans[1:]))

@@ -1,0 +1,158 @@
+"""Tests for artifact serialization and the adjusted Rand index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Blockmodel, SBPConfig, run_sbp
+from repro.errors import ReproError
+from repro.io.serialize import (
+    load_assignment,
+    load_blockmodel,
+    load_result,
+    save_assignment,
+    save_blockmodel,
+    save_result,
+)
+from repro.metrics.ari import adjusted_rand_index
+
+
+@pytest.fixture(scope="module")
+def result(planted_graph):
+    graph, _ = planted_graph
+    return run_sbp(graph, SBPConfig(seed=6, max_sweeps=8))
+
+
+class TestResultRoundtrip:
+    def test_roundtrip_fields(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        back = load_result(path)
+        np.testing.assert_array_equal(back.assignment, result.assignment)
+        assert back.mdl == result.mdl
+        assert back.variant == result.variant
+        assert back.timings.mcmc == result.timings.mcmc
+        assert back.converged == result.converged
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ReproError):
+            load_result(path)
+
+    def test_future_version_rejected(self, result, tmp_path):
+        import json
+
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="newer"):
+            load_result(path)
+
+
+class TestAssignmentRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        assignment = np.array([0, 2, 1, 1, 0], dtype=np.int64)
+        path = tmp_path / "labels.txt"
+        save_assignment(assignment, path)
+        np.testing.assert_array_equal(load_assignment(path), assignment)
+
+    def test_sparse_requires_size(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text("0 1\n5 2\n")
+        with pytest.raises(ReproError):
+            load_assignment(path)
+        out = load_assignment(path, num_vertices=7)
+        assert out[5] == 2
+        assert out[3] == -1
+
+    def test_bad_line(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text("42\n")
+        with pytest.raises(ReproError):
+            load_assignment(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ReproError):
+            load_assignment(path)
+
+
+class TestBlockmodelRoundtrip:
+    def test_roundtrip(self, tiny_graph, tiny_truth, tmp_path):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        path = tmp_path / "bm.npz"
+        save_blockmodel(bm, path)
+        back = load_blockmodel(path)
+        np.testing.assert_array_equal(back.B, bm.B)
+        np.testing.assert_array_equal(back.assignment, bm.assignment)
+        np.testing.assert_array_equal(back.d_out, bm.d_out)
+        back.check_consistency(tiny_graph)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            B=np.zeros((2, 2), dtype=np.int64),
+            assignment=np.zeros(3, dtype=np.int64),
+            num_blocks=np.asarray([5]),
+        )
+        with pytest.raises(ReproError):
+            load_blockmodel(path)
+
+
+class TestAdjustedRandIndex:
+    def test_identical_is_one(self):
+        x = np.array([0, 0, 1, 1, 2])
+        assert adjusted_rand_index(x, x) == pytest.approx(1.0)
+
+    def test_relabeling_invariant(self):
+        x = np.array([0, 0, 1, 1])
+        y = np.array([7, 7, 3, 3])
+        assert adjusted_rand_index(x, y) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 4, 5000)
+        y = rng.integers(0, 4, 5000)
+        assert abs(adjusted_rand_index(x, y)) < 0.02
+
+    def test_known_value(self):
+        # classic textbook example
+        x = np.array([0, 0, 0, 1, 1, 1])
+        y = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(x, y) == pytest.approx(0.2424, abs=1e-3)
+
+    def test_degenerate_single_cluster(self):
+        x = np.zeros(5, dtype=np.int64)
+        assert adjusted_rand_index(x, x) == 1.0
+
+    def test_can_be_negative(self):
+        """Anti-correlated partitions score below chance."""
+        x = np.array([0, 0, 1, 1])
+        y = np.array([0, 1, 0, 1])
+        assert adjusted_rand_index(x, y) < 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 3, 100)
+        y = rng.integers(0, 5, 100)
+        assert adjusted_rand_index(x, y) == pytest.approx(
+            adjusted_rand_index(y, x)
+        )
+
+    def test_tracks_nmi_on_partial_agreement(self):
+        from repro.metrics import normalized_mutual_information
+
+        rng = np.random.default_rng(4)
+        truth = rng.integers(0, 3, 400)
+        noisy = np.where(rng.random(400) < 0.7, truth, rng.integers(0, 3, 400))
+        pure_noise = rng.integers(0, 3, 400)
+        assert adjusted_rand_index(truth, noisy) > adjusted_rand_index(
+            truth, pure_noise
+        )
+        assert normalized_mutual_information(truth, noisy) > 0.1

@@ -1,0 +1,123 @@
+"""Unit tests for the simulated thread executor (Fig. 7 substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.simulate import SimulatedThreadModel, simulate_sweep_seconds
+from repro.types import SweepStats
+
+
+def _sweep(parallel_work=1000.0, serial_work=0.0, per_vertex=None):
+    return SweepStats(
+        proposals=100,
+        accepted=50,
+        serial_work=serial_work,
+        parallel_work=parallel_work,
+        work_per_vertex=per_vertex,
+    )
+
+
+class TestSimulateSweepSeconds:
+    def test_one_thread_is_full_work(self):
+        stats = _sweep(parallel_work=1000.0)
+        t = simulate_sweep_seconds(stats, 1, seconds_per_unit=1e-3)
+        assert t == pytest.approx(1.0)
+
+    def test_ideal_scaling_without_vector(self):
+        stats = _sweep(parallel_work=1000.0)
+        t4 = simulate_sweep_seconds(stats, 4, seconds_per_unit=1e-3)
+        assert t4 == pytest.approx(0.25)
+
+    def test_serial_section_is_amdahl_floor(self):
+        stats = _sweep(parallel_work=1000.0, serial_work=500.0)
+        t = simulate_sweep_seconds(stats, 1000, seconds_per_unit=1e-3)
+        assert t >= 0.5
+
+    def test_static_imbalance_slows_scaling(self):
+        rng = np.random.default_rng(0)
+        skewed = (rng.pareto(1.2, 512) * 20 + 1).astype(np.int64)
+        stats = _sweep(parallel_work=float(skewed.sum()), per_vertex=skewed)
+        ideal = float(skewed.sum()) / 8 * 1e-3
+        modeled = simulate_sweep_seconds(stats, 8, 1e-3, schedule="static")
+        assert modeled >= ideal
+
+    def test_balanced_beats_static(self):
+        rng = np.random.default_rng(1)
+        skewed = (rng.pareto(1.2, 512) * 20 + 1).astype(np.int64)
+        stats = _sweep(parallel_work=float(skewed.sum()), per_vertex=skewed)
+        static = simulate_sweep_seconds(stats, 16, 1e-3, schedule="static")
+        balanced = simulate_sweep_seconds(stats, 16, 1e-3, schedule="balanced")
+        assert balanced <= static
+
+    def test_fork_join_grows_with_threads(self):
+        stats = _sweep(parallel_work=100.0)
+        cheap = simulate_sweep_seconds(stats, 2, 1e-6, fork_join_seconds=1e-3)
+        pricey = simulate_sweep_seconds(stats, 64, 1e-6, fork_join_seconds=1e-3)
+        assert pricey > cheap
+
+    def test_rebuild_parallel_fraction(self):
+        stats = _sweep(parallel_work=0.0)
+        serial_rb = simulate_sweep_seconds(
+            stats, 8, 1e-3, rebuild_seconds=1.0, rebuild_parallel_fraction=0.0
+        )
+        parallel_rb = simulate_sweep_seconds(
+            stats, 8, 1e-3, rebuild_seconds=1.0, rebuild_parallel_fraction=1.0
+        )
+        assert serial_rb == pytest.approx(1.0)
+        assert parallel_rb == pytest.approx(1.0 / 8)
+
+    def test_bad_threads(self):
+        with pytest.raises(ValueError):
+            simulate_sweep_seconds(_sweep(), 0, 1e-3)
+
+
+class TestSimulatedThreadModel:
+    def _model(self):
+        rng = np.random.default_rng(2)
+        sweeps = []
+        for _ in range(10):
+            work = (rng.pareto(1.3, 256) * 10 + 1).astype(np.int64)
+            sweeps.append(
+                SweepStats(
+                    proposals=256,
+                    accepted=100,
+                    serial_work=float(work.sum()) * 0.15,
+                    parallel_work=float(work.sum()),
+                    work_per_vertex=work,
+                )
+            )
+        return SimulatedThreadModel.calibrated(
+            sweeps, measured_mcmc_seconds=10.0, measured_rebuild_seconds=1.0
+        )
+
+    def test_calibration_matches_measurement(self):
+        model = self._model()
+        # 1-thread time must be close to the measured total (work + rebuild)
+        assert model.mcmc_seconds(1) == pytest.approx(11.0, rel=0.2)
+
+    def test_speedup_monotone_until_taper(self):
+        model = self._model()
+        curve = model.speedup_curve([1, 2, 4, 8, 16, 32, 64, 128])
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[2] > 1.2
+        # Fig. 7 shape: still improving at 128, but sub-linear
+        assert curve[128] > curve[8]
+        assert curve[128] < 128 * 0.8
+
+    def test_tapering_past_16(self):
+        """Relative gains shrink: 8->16 gain exceeds 64->128 gain."""
+        model = self._model()
+        s = model.speedup_curve([8, 16, 64, 128])
+        assert (s[16] / s[8]) > (s[128] / s[64])
+
+    def test_empty_sweeps_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedThreadModel.calibrated([], measured_mcmc_seconds=1.0)
+
+    def test_record_and_extend(self):
+        model = SimulatedThreadModel(seconds_per_unit=1e-3)
+        model.record(_sweep(parallel_work=100.0))
+        model.extend([_sweep(parallel_work=200.0)])
+        assert model.mcmc_seconds(1) == pytest.approx(0.3, rel=0.3)

@@ -1,0 +1,151 @@
+"""Property tests: SparseBlockMatrix vs the dense oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Blockmodel, Graph
+from repro.errors import BlockmodelError
+from repro.sbm.delta import vertex_move_context
+from repro.sbm.sparse import SparseBlockMatrix
+
+
+def _random_dense(seed: int, size: int = 6) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    dense = rng.integers(0, 5, (size, size)).astype(np.int64)
+    dense[rng.random((size, size)) < 0.5] = 0
+    return dense
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self):
+        dense = _random_dense(0)
+        sparse = SparseBlockMatrix.from_dense(dense)
+        np.testing.assert_array_equal(sparse.to_dense(), dense)
+        sparse.check_mirror_consistency()
+
+    def test_from_edges_matches_bincount(self):
+        rng = np.random.default_rng(1)
+        src = rng.integers(0, 4, 50)
+        dst = rng.integers(0, 4, 50)
+        sparse = SparseBlockMatrix.from_edges(src, dst, 4)
+        dense = np.zeros((4, 4), dtype=np.int64)
+        np.add.at(dense, (src, dst), 1)
+        np.testing.assert_array_equal(sparse.to_dense(), dense)
+
+    def test_bad_size(self):
+        with pytest.raises(BlockmodelError):
+            SparseBlockMatrix(0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(BlockmodelError):
+            SparseBlockMatrix.from_dense(np.zeros((2, 3)))
+
+
+class TestElementOps:
+    def test_add_and_evict(self):
+        m = SparseBlockMatrix(3)
+        m.add(0, 1, 5)
+        assert m.get(0, 1) == 5
+        assert m.nnz == 1
+        m.add(0, 1, -5)
+        assert m.get(0, 1) == 0
+        assert m.nnz == 0  # zero entries are evicted
+
+    def test_negative_total_rejected(self):
+        m = SparseBlockMatrix(2)
+        with pytest.raises(BlockmodelError):
+            m.add(0, 0, -1)
+
+    def test_out_of_range(self):
+        m = SparseBlockMatrix(2)
+        with pytest.raises(BlockmodelError):
+            m.add(2, 0, 1)
+
+    def test_row_col_items_sorted(self):
+        dense = _random_dense(2)
+        sparse = SparseBlockMatrix.from_dense(dense)
+        for r in range(dense.shape[0]):
+            cols, vals = sparse.row_items(r)
+            assert (np.diff(cols) > 0).all() if cols.size > 1 else True
+            np.testing.assert_array_equal(vals, dense[r, cols])
+        for c in range(dense.shape[0]):
+            rows, vals = sparse.col_items(c)
+            np.testing.assert_array_equal(vals, dense[rows, c])
+
+    def test_gather(self):
+        dense = _random_dense(3)
+        sparse = SparseBlockMatrix.from_dense(dense)
+        rows = np.array([0, 1, 2, 5])
+        cols = np.array([5, 4, 2, 0])
+        np.testing.assert_array_equal(sparse.gather(rows, cols), dense[rows, cols])
+
+    def test_sums(self):
+        dense = _random_dense(4)
+        sparse = SparseBlockMatrix.from_dense(dense)
+        for i in range(dense.shape[0]):
+            assert sparse.row_sum(i) == dense[i].sum()
+            assert sparse.col_sum(i) == dense[:, i].sum()
+        assert sparse.total == dense.sum()
+
+
+class TestMoveAndMerge:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_apply_move_matches_dense(self, seed):
+        """Sparse move updates equal the dense Blockmodel's."""
+        rng = np.random.default_rng(seed)
+        n, blocks = 20, 5
+        graph = Graph(n, rng.integers(0, n, (50, 2)).astype(np.int64))
+        assignment = rng.integers(0, blocks, n).astype(np.int64)
+        bm = Blockmodel.from_assignment(graph, assignment, blocks)
+        sparse = SparseBlockMatrix.from_dense(bm.B)
+
+        v = int(rng.integers(n))
+        s = int(rng.integers(blocks))
+        ctx = vertex_move_context(bm, graph, v)
+        if s == ctx.r:
+            return
+        bm.apply_move(v, s, ctx.t_out, ctx.c_out, ctx.t_in, ctx.c_in,
+                      ctx.loops, ctx.deg_out, ctx.deg_in)
+        sparse.apply_move(ctx.r, s, ctx.t_out, ctx.c_out, ctx.t_in, ctx.c_in,
+                          ctx.loops)
+        np.testing.assert_array_equal(sparse.to_dense(), bm.B)
+        sparse.check_mirror_consistency()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(0, 4), st.integers(0, 4))
+    def test_merge_matches_dense(self, seed, r, s):
+        if r == s:
+            return
+        rng = np.random.default_rng(seed)
+        n, blocks = 18, 5
+        graph = Graph(n, rng.integers(0, n, (60, 2)).astype(np.int64))
+        assignment = rng.integers(0, blocks, n).astype(np.int64)
+        bm = Blockmodel.from_assignment(graph, assignment, blocks)
+        sparse = SparseBlockMatrix.from_dense(bm.B)
+        bm.merge_blocks(r, s)
+        sparse.merge_into(r, s)
+        np.testing.assert_array_equal(sparse.to_dense(), bm.B)
+        sparse.check_mirror_consistency()
+
+    def test_merge_self_rejected(self):
+        m = SparseBlockMatrix(3)
+        with pytest.raises(BlockmodelError):
+            m.merge_into(1, 1)
+
+
+class TestStats:
+    def test_fill_fraction(self):
+        m = SparseBlockMatrix(10)
+        m.add(0, 0, 1)
+        assert m.fill_fraction == pytest.approx(0.01)
+
+    def test_memory_scales_with_support(self):
+        small = SparseBlockMatrix(100)
+        small.add(0, 0, 1)
+        big = SparseBlockMatrix.from_dense(_random_dense(5, 30))
+        assert big.memory_bytes() > small.memory_bytes()

@@ -1,0 +1,147 @@
+"""Unit tests for graph transforms (symmetrize, weights, components)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.errors import GraphValidationError
+from repro.graph.transforms import (
+    expand_weighted_edges,
+    induced_subgraph,
+    largest_weak_component,
+    remove_self_loops,
+    symmetrize,
+    weak_components,
+)
+
+
+class TestSymmetrize:
+    def test_doubles_off_diagonal(self, tiny_graph):
+        sym = symmetrize(tiny_graph)
+        loops = int(tiny_graph.self_loops.sum())
+        assert sym.num_edges == 2 * (tiny_graph.num_edges - loops) + loops
+        np.testing.assert_array_equal(sym.out_degree, sym.in_degree)
+
+    def test_collapse_deduplicates(self):
+        g = Graph(3, np.array([[0, 1], [1, 0], [1, 2]]))
+        sym = symmetrize(g, collapse=True)
+        assert sym.num_edges == 4  # {01, 10, 12, 21}
+
+    def test_self_loops_kept_single(self):
+        g = Graph(2, np.array([[0, 0], [0, 1]]))
+        sym = symmetrize(g)
+        assert sym.self_loops[0] == 1
+        assert sym.num_edges == 3
+
+    def test_sbp_runs_on_symmetrized(self, planted_graph):
+        """The §6 undirected pathway: symmetrize then infer."""
+        from repro import SBPConfig, run_sbp
+        from repro.metrics import normalized_mutual_information
+
+        graph, truth = planted_graph
+        sym = symmetrize(graph)
+        result = run_sbp(sym, SBPConfig(variant="h-sbp", seed=2, max_sweeps=15))
+        assert normalized_mutual_information(truth, result.assignment) > 0.6
+
+
+class TestSelfLoops:
+    def test_removal(self, tiny_graph):
+        clean = remove_self_loops(tiny_graph)
+        assert clean.self_loops.sum() == 0
+        assert clean.num_edges == tiny_graph.num_edges - 1
+
+
+class TestWeightedExpansion:
+    def test_integer_weights(self):
+        edges = np.array([[0, 1], [1, 2]])
+        g = expand_weighted_edges(edges, np.array([3, 1]), 3)
+        assert g.num_edges == 4
+        assert g.out_degree[0] == 3
+
+    def test_zero_weight_dropped(self):
+        g = expand_weighted_edges(np.array([[0, 1], [1, 0]]), np.array([0, 2]), 2)
+        assert g.num_edges == 2
+        assert g.out_degree[0] == 0
+
+    def test_float_integral_weights_ok(self):
+        g = expand_weighted_edges(np.array([[0, 1]]), np.array([2.0]), 2)
+        assert g.num_edges == 2
+
+    def test_fractional_weights_rejected(self):
+        with pytest.raises(GraphValidationError):
+            expand_weighted_edges(np.array([[0, 1]]), np.array([1.5]), 2)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(GraphValidationError):
+            expand_weighted_edges(np.array([[0, 1]]), np.array([-1]), 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(GraphValidationError):
+            expand_weighted_edges(np.array([[0, 1]]), np.array([1, 2]), 2)
+
+    def test_weighted_mdl_matches_multigraph(self):
+        """A weight-w edge and w parallel edges are the same model."""
+        from repro.metrics import partition_mdl
+
+        edges = np.array([[0, 1], [1, 2], [2, 0], [2, 3]])
+        weights = np.array([2, 3, 1, 4])
+        weighted = expand_weighted_edges(edges, weights, 4)
+        manual = Graph(4, np.repeat(edges, weights, axis=0))
+        labels = np.array([0, 0, 1, 1])
+        assert partition_mdl(weighted, labels) == pytest.approx(
+            partition_mdl(manual, labels)
+        )
+
+
+class TestComponents:
+    def test_two_islands(self):
+        g = Graph(6, np.array([[0, 1], [1, 2], [3, 4]]))
+        labels = weak_components(g)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_direction_ignored(self):
+        g = Graph(3, np.array([[2, 0], [1, 2]]))
+        labels = weak_components(g)
+        assert len(set(labels.tolist())) == 1
+
+    def test_matches_networkx(self, medium_graph):
+        nx = pytest.importorskip("networkx")
+        graph, _ = medium_graph
+        ours = weak_components(graph)
+        G = nx.MultiDiGraph()
+        G.add_nodes_from(range(graph.num_vertices))
+        G.add_edges_from(map(tuple, graph.edges))
+        theirs = list(nx.weakly_connected_components(G))
+        assert len(set(ours.tolist())) == len(theirs)
+        for comp in theirs:
+            comp = list(comp)
+            assert len(set(ours[comp].tolist())) == 1
+
+    def test_largest_component_extraction(self):
+        g = Graph(7, np.array([[0, 1], [1, 2], [2, 0], [3, 4]]))
+        sub, mapping = largest_weak_component(g)
+        assert sub.num_vertices == 3
+        assert sorted(mapping.tolist()) == [0, 1, 2]
+        assert sub.num_edges == 3
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges(self, tiny_graph):
+        sub, mapping = induced_subgraph(tiny_graph, np.array([0, 1, 2, 3]))
+        assert sub.num_vertices == 4
+        # cluster edges among {0..3}: 7 of them (incl. self-loop + parallel)
+        assert sub.num_edges == 7
+        np.testing.assert_array_equal(mapping, [0, 1, 2, 3])
+
+    def test_out_of_range_rejected(self, tiny_graph):
+        with pytest.raises(GraphValidationError):
+            induced_subgraph(tiny_graph, np.array([99]))
+
+    def test_empty_rejected(self, tiny_graph):
+        with pytest.raises(GraphValidationError):
+            induced_subgraph(tiny_graph, np.array([], dtype=np.int64))

@@ -1,0 +1,169 @@
+"""Unit tests for RNG streams, timers and validation helpers."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    UNIFORMS_PER_VERTEX,
+    SweepRandomness,
+    philox_stream,
+    spawn_seeds,
+)
+from repro.utils.timer import StopwatchPool, Timer
+from repro.utils.validation import (
+    check_nonnegative_int,
+    check_positive,
+    check_probability,
+)
+
+
+class TestPhiloxStreams:
+    def test_same_key_same_stream(self):
+        a = philox_stream(1, 2, 3).random(10)
+        b = philox_stream(1, 2, 3).random(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_counters_distinct_streams(self):
+        a = philox_stream(1, 2, 3).random(10)
+        b = philox_stream(1, 2, 4).random(10)
+        assert not np.array_equal(a, b)
+
+    def test_counter_order_matters(self):
+        a = philox_stream(1, 2, 3).random(10)
+        b = philox_stream(1, 3, 2).random(10)
+        assert not np.array_equal(a, b)
+
+    def test_huge_seed_ok(self):
+        gen = philox_stream(2**63 - 1, 2**62)
+        assert 0.0 <= gen.random() < 1.0
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+    def test_distinct(self):
+        seeds = spawn_seeds(7, 10)
+        assert len(set(seeds)) == 10
+
+    def test_differs_by_master(self):
+        assert spawn_seeds(7, 3) != spawn_seeds(8, 3)
+
+
+class TestSweepRandomness:
+    def test_shape(self):
+        rand = SweepRandomness.draw(0, 1, 2, 50)
+        assert rand.uniforms.shape == (50, UNIFORMS_PER_VERTEX)
+        assert len(rand) == 50
+
+    def test_keyed_by_all_three(self):
+        base = SweepRandomness.draw(0, 1, 2, 10).uniforms
+        assert not np.array_equal(base, SweepRandomness.draw(1, 1, 2, 10).uniforms)
+        assert not np.array_equal(base, SweepRandomness.draw(0, 2, 2, 10).uniforms)
+        assert not np.array_equal(base, SweepRandomness.draw(0, 1, 3, 10).uniforms)
+
+    def test_prefix_stability(self):
+        """Drawing more rows must not change earlier rows (same stream)."""
+        small = SweepRandomness.draw(3, 1, 0, 10).uniforms
+        large = SweepRandomness.draw(3, 1, 0, 20).uniforms
+        np.testing.assert_array_equal(small, large[:10])
+
+    def test_slice_is_view(self):
+        rand = SweepRandomness.draw(0, 0, 0, 30)
+        view = rand.slice(5, 10)
+        assert view.base is rand.uniforms
+        assert view.shape == (5, UNIFORMS_PER_VERTEX)
+
+    def test_in_unit_interval(self):
+        u = SweepRandomness.draw(9, 9, 9, 100).uniforms
+        assert u.min() >= 0.0
+        assert u.max() < 1.0
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t.measure():
+            time.sleep(0.01)
+        first = t.elapsed
+        with t.measure():
+            time.sleep(0.01)
+        assert t.elapsed > first
+
+    def test_double_start_rejected(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t.measure():
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+        assert not t.running
+
+
+class TestStopwatchPool:
+    def test_sections_accumulate(self):
+        pool = StopwatchPool()
+        with pool.section("a"):
+            time.sleep(0.005)
+        with pool.section("a"):
+            time.sleep(0.005)
+        assert pool.elapsed("a") >= 0.01
+
+    def test_unknown_section_zero(self):
+        assert StopwatchPool().elapsed("nothing") == 0.0
+
+    def test_add_virtual_time(self):
+        pool = StopwatchPool()
+        pool.add("model", 2.5)
+        assert pool.elapsed("model") == 2.5
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StopwatchPool().add("x", -1.0)
+
+    def test_snapshot_and_reset(self):
+        pool = StopwatchPool()
+        pool.add("x", 1.0)
+        assert pool.snapshot() == {"x": 1.0}
+        pool.reset()
+        assert pool.elapsed("x") == 0.0
+
+
+class TestValidation:
+    def test_nonnegative_int(self):
+        assert check_nonnegative_int(5, "n") == 5
+        assert check_nonnegative_int(0, "n") == 0
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "n")
+        with pytest.raises(ValueError):
+            check_nonnegative_int(1.5, "n")
+        with pytest.raises(ValueError):
+            check_nonnegative_int("x", "n")
+
+    def test_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+        with pytest.raises(ValueError):
+            check_positive("y", "x")
+
+    def test_probability(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.1, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
