@@ -1,0 +1,100 @@
+"""Merge-phase kernel benchmark: serial oracle vs vectorized backend.
+
+Alg. 1's candidate scan is the "embarrassingly parallel" part of the
+block-merge phase. This benchmark times both merge backends on the same
+pre-drawn Philox uniforms at singleton-initialization scale (C = V, the
+worst case: the scan is O(C * proposals) scalar calls for the serial
+oracle) and asserts the vectorized kernel is bit-identical AND at least
+10x faster at the largest size.
+
+Sizes default to C in {64, 256, 1024, 4096}; override with a
+comma-separated ``REPRO_MERGE_PHASE_SIZES`` (CI smoke uses "64,256").
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.bench.reporting import format_table, write_report
+from repro.generators.dcsbm import DCSBMParams, generate_dcsbm
+from repro.parallel.merge import SerialMergeBackend, VectorizedMergeBackend
+from repro.sbm.blockmodel import Blockmodel
+from repro.utils.rng import philox_stream
+
+DEFAULT_SIZES = [64, 256, 1024, 4096]
+PROPOSALS = 10
+SEED = 13
+#: acceptance floor for the largest benchmarked size (>= 1024)
+MIN_SPEEDUP_LARGE = 10.0
+
+
+def _sizes() -> list[int]:
+    raw = os.environ.get("REPRO_MERGE_PHASE_SIZES", "")
+    if not raw:
+        return list(DEFAULT_SIZES)
+    return [int(tok) for tok in raw.split(",") if tok.strip()]
+
+
+def _merge_phase_rows() -> list[dict[str, object]]:
+    serial = SerialMergeBackend()
+    vectorized = VectorizedMergeBackend()
+    rows: list[dict[str, object]] = []
+    for num_vertices in _sizes():
+        graph, _ = generate_dcsbm(
+            DCSBMParams(
+                num_vertices=num_vertices,
+                num_communities=max(4, num_vertices // 128),
+                within_between_ratio=5.0,
+                mean_degree=8.0,
+                d_max=40,
+            ),
+            seed=SEED,
+        )
+        bm = Blockmodel.singleton(graph)
+        C = bm.num_blocks
+        uniforms = philox_stream(SEED, 1701, 0).random((C, PROPOSALS, 4))
+
+        start = time.perf_counter()
+        delta_v, target_v = vectorized.evaluate_merges(bm, uniforms)
+        vec_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        delta_s, target_s = serial.evaluate_merges(bm, uniforms)
+        ser_s = time.perf_counter() - start
+
+        assert np.array_equal(delta_s, delta_v), f"C={C}: deltas diverge"
+        assert np.array_equal(target_s, target_v), f"C={C}: targets diverge"
+        rows.append(
+            {
+                "C": C,
+                "E": graph.num_edges,
+                "proposals": PROPOSALS,
+                "serial_s": ser_s,
+                "vectorized_s": vec_s,
+                "speedup": ser_s / vec_s if vec_s > 0 else float("inf"),
+                "bit_identical": True,
+            }
+        )
+    return rows
+
+
+def test_merge_phase_speedup(benchmark):
+    rows = run_once(benchmark, _merge_phase_rows)
+    report = format_table(
+        rows,
+        title="Merge-phase candidate scan: serial oracle vs vectorized kernel",
+    )
+    write_report("merge_phase", report)
+
+    largest = max(rows, key=lambda r: r["C"])
+    if largest["C"] >= 1024:
+        assert largest["speedup"] >= MIN_SPEEDUP_LARGE, (
+            f"C={largest['C']}: speedup {largest['speedup']:.1f}x "
+            f"below the {MIN_SPEEDUP_LARGE:.0f}x floor"
+        )
+    else:  # smoke sizes: equality already asserted, just require a win
+        assert largest["speedup"] > 1.0, largest

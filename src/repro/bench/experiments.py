@@ -185,11 +185,14 @@ def fig2_breakdown_rows(scale: BenchScale, seed: int = 0) -> list[dict[str, obje
         run = suite["sbp"]
         mcmc = run.total_mcmc_seconds
         total = run.total_seconds
+        merge = run.total_merge_seconds
         rows.append(
             {
                 "graph": gid,
                 "mcmc_s": mcmc,
-                "merge_plus_other_s": total - mcmc,
+                "merge_s": merge,
+                "merge_scan_s": run.total_merge_scan_seconds,
+                "other_s": total - mcmc - merge,
                 "mcmc_pct": 100.0 * mcmc / total if total > 0 else 0.0,
             }
         )

@@ -80,6 +80,16 @@ class VariantRun:
         return sum(r.total_seconds for r in self.all_results)
 
     @property
+    def total_merge_seconds(self) -> float:
+        """Block-merge phase time summed over all runs (Fig. 2's other bar)."""
+        return sum(r.timings.block_merge for r in self.all_results)
+
+    @property
+    def total_merge_scan_seconds(self) -> float:
+        """Candidate-scan part of the merge phase (what the backends speed up)."""
+        return sum(r.timings.merge_scan for r in self.all_results)
+
+    @property
     def total_sweeps(self) -> int:
         return sum(r.mcmc_sweeps for r in self.all_results)
 
@@ -93,6 +103,7 @@ class VariantRun:
             "MDL_norm": self.best.normalized_mdl,
             "modularity": directed_modularity(graph, self.best.assignment),
             "mcmc_s": self.total_mcmc_seconds,
+            "merge_s": self.total_merge_seconds,
             "total_s": self.total_seconds,
             "sweeps": self.total_sweeps,
         }

@@ -73,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--beta", type=float, default=3.0)
     detect.add_argument("--vstar-fraction", type=float, default=0.15)
     detect.add_argument("--backend", default="vectorized")
+    detect.add_argument("--merge-backend", default="vectorized",
+                        choices=["serial", "vectorized"],
+                        help="block-merge scan kernel (bit-identical results)")
     detect.add_argument("--output", help="write 'vertex community' lines here")
     detect.add_argument("--json", action="store_true",
                         help="print a JSON summary instead of text")
@@ -120,6 +123,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         beta=args.beta,
         vstar_fraction=args.vstar_fraction,
         backend=args.backend,
+        merge_backend=args.merge_backend,
     )
     best, all_results = run_best_of(graph, config, runs=args.runs)
     summary = {

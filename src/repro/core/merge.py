@@ -5,6 +5,11 @@ For every block, a handful of merge candidates are proposed and the best
 *unmodified* blockmodel ("embarrassingly parallel until the sort"), then
 the globally best merges are applied greedily — following merge chains
 with a union-find — until the block count reaches the target.
+
+The candidate scan is delegated to a :class:`~repro.parallel.backend.
+MergeBackend` selected by ``config.merge_backend``: the serial oracle
+loop or the vectorized batch kernel (bit-identical decisions — see
+:mod:`repro.parallel.merge`).
 """
 
 from __future__ import annotations
@@ -13,10 +18,10 @@ import numpy as np
 
 from repro.core.variants import SBPConfig
 from repro.graph.graph import Graph
+from repro.parallel.backend import get_merge_backend
 from repro.sbm.blockmodel import Blockmodel
-from repro.sbm.delta import merge_delta
-from repro.sbm.moves import propose_block_merge
 from repro.utils.rng import philox_stream
+from repro.utils.timer import StopwatchPool
 
 __all__ = ["block_merge_phase", "MERGE_PHASE_TAG"]
 
@@ -30,11 +35,16 @@ def block_merge_phase(
     num_merges: int,
     config: SBPConfig,
     iteration: int,
+    timers: StopwatchPool | None = None,
 ) -> Blockmodel:
     """Return a new compacted blockmodel with ``num_merges`` fewer blocks.
 
     ``bm`` is not modified. Proposals draw from a Philox stream keyed by
-    ``(seed, merge-tag, iteration)`` so runs are reproducible.
+    ``(seed, merge-tag, iteration)`` so runs are reproducible; the draw
+    layout is identical for every merge backend. When ``timers`` is
+    given, the parallelizable candidate scan and the sequential apply
+    step are accrued separately (``merge_scan`` / ``merge_apply``) for
+    Fig.-2-style breakdowns.
     """
     C = bm.num_blocks
     num_merges = min(num_merges, C - 1)
@@ -45,45 +55,40 @@ def block_merge_phase(
     rng = philox_stream(config.seed, MERGE_PHASE_TAG, iteration)
     uniforms = rng.random((C, proposals, 4))
 
-    best_delta = np.full(C, np.inf, dtype=np.float64)
-    best_target = np.full(C, -1, dtype=np.int64)
-    # Conceptually `for community c in B do in parallel` — evaluations are
-    # independent reads of the frozen blockmodel.
-    for r in range(C):
-        for j in range(proposals):
-            s = propose_block_merge(bm, r, uniforms[r, j])
-            delta = merge_delta(bm, r, s)
-            if delta < best_delta[r]:
-                best_delta[r] = delta
-                best_target[r] = s
+    timers = timers if timers is not None else StopwatchPool()
+    backend = get_merge_backend(config.merge_backend)
+    with timers.section("merge_scan"):
+        best_delta, best_target = backend.evaluate_merges(bm, uniforms)
 
-    order = np.argsort(best_delta, kind="stable")
-    parent = np.arange(C, dtype=np.int64)
+    with timers.section("merge_apply"):
+        order = np.argsort(best_delta, kind="stable")
+        parent = np.arange(C, dtype=np.int64)
 
-    def find(x: int) -> int:
-        root = x
-        while parent[root] != root:
-            root = int(parent[root])
-        # path compression
-        while parent[x] != root:
-            parent[x], x = root, int(parent[x])
-        return root
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = int(parent[root])
+            # path compression
+            while parent[x] != root:
+                parent[x], x = root, int(parent[x])
+            return root
 
-    merged = 0
-    for r in order:
-        if merged >= num_merges:
-            break
-        target = int(best_target[r])
-        if target < 0:
-            continue
-        root = find(target)
-        if root == r:
-            continue  # applying this (stale) merge would create a cycle
-        parent[r] = root
-        merged += 1
+        merged = 0
+        for r in order:
+            if merged >= num_merges:
+                break
+            target = int(best_target[r])
+            if target < 0:
+                continue
+            root = find(target)
+            if root == r:
+                continue  # applying this (stale) merge would create a cycle
+            parent[r] = root
+            merged += 1
 
-    roots = np.fromiter((find(b) for b in range(C)), dtype=np.int64, count=C)
-    merged_assignment = roots[bm.assignment]
-    # Relabel densely; from_assignment rebuilds B in one vectorized pass.
-    _, dense = np.unique(merged_assignment, return_inverse=True)
-    return Blockmodel.from_assignment(graph, dense.astype(np.int64))
+        roots = np.fromiter((find(b) for b in range(C)), dtype=np.int64, count=C)
+        merged_assignment = roots[bm.assignment]
+        # Relabel densely; from_assignment rebuilds B in one vectorized pass.
+        _, dense = np.unique(merged_assignment, return_inverse=True)
+        out = Blockmodel.from_assignment(graph, dense.astype(np.int64))
+    return out

@@ -177,7 +177,8 @@ def run_sbp(graph: Graph, config: SBPConfig | None = None) -> SBPResult:
             assert step.start is not None
             with timers.section("block_merge"):
                 bm = block_merge_phase(
-                    step.start, graph, step.num_merges, config, outer
+                    step.start, graph, step.num_merges, config, outer,
+                    timers=timers,
                 )
             if config.validate:
                 bm.check_consistency(graph)
@@ -219,6 +220,8 @@ def run_sbp(graph: Graph, config: SBPConfig | None = None) -> SBPResult:
         mcmc=timers.elapsed("mcmc"),
         rebuild=timers.elapsed("rebuild"),
         other=timers.elapsed("other"),
+        merge_scan=timers.elapsed("merge_scan"),
+        merge_apply=timers.elapsed("merge_apply"),
     )
     return SBPResult(
         variant=config.variant.value,

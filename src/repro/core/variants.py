@@ -56,6 +56,10 @@ class SBPConfig:
         'process'.
     backend_options:
         Extra keyword arguments for the backend factory.
+    merge_backend:
+        Candidate-scan backend for the block-merge phase (Alg. 1):
+        'vectorized' (batch kernels) or 'serial' (the oracle loop).
+        Both pick bit-identical merges; only wall-clock differs.
     seed:
         Master seed; every random draw in the run derives from it.
     record_work:
@@ -79,6 +83,7 @@ class SBPConfig:
     block_reduction_rate: float = 0.5
     backend: str = "vectorized"
     backend_options: dict = field(default_factory=dict)
+    merge_backend: str = "vectorized"
     seed: int = 0
     record_work: bool = False
     max_outer_iterations: int = 120

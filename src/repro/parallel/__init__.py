@@ -14,25 +14,42 @@ interchangeable executors for that stage:
   used to reproduce the strong-scaling experiment (Fig. 7) without a
   128-core machine.
 
+The block-merge phase (Alg. 1) has its own backend pair in
+:mod:`repro.parallel.merge` — a serial candidate-scan oracle and a
+vectorized batch kernel — selected via ``SBPConfig.merge_backend``.
+
 All backends produce identical accept/reject decisions for a given seed
 because the per-sweep randomness is pre-drawn in vertex order
 (:mod:`repro.utils.rng`).
 """
 
-from repro.parallel.backend import ExecutionBackend, get_backend, available_backends
+from repro.parallel.backend import (
+    ExecutionBackend,
+    MergeBackend,
+    available_backends,
+    available_merge_backends,
+    get_backend,
+    get_merge_backend,
+)
 from repro.parallel.serial import SerialBackend
 from repro.parallel.vectorized import VectorizedBackend
 from repro.parallel.processpool import ProcessPoolBackend
+from repro.parallel.merge import SerialMergeBackend, VectorizedMergeBackend
 from repro.parallel.partitioner import contiguous_chunks, balanced_chunks
 from repro.parallel.simulate import SimulatedThreadModel, simulate_sweep_seconds
 
 __all__ = [
     "ExecutionBackend",
+    "MergeBackend",
     "get_backend",
+    "get_merge_backend",
     "available_backends",
+    "available_merge_backends",
     "SerialBackend",
     "VectorizedBackend",
     "ProcessPoolBackend",
+    "SerialMergeBackend",
+    "VectorizedMergeBackend",
     "contiguous_chunks",
     "balanced_chunks",
     "SimulatedThreadModel",

@@ -12,7 +12,16 @@ from repro.graph.graph import Graph
 from repro.sbm.blockmodel import Blockmodel
 from repro.types import IntArray
 
-__all__ = ["ExecutionBackend", "register_backend", "get_backend", "available_backends"]
+__all__ = [
+    "ExecutionBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "MergeBackend",
+    "register_merge_backend",
+    "get_merge_backend",
+    "available_merge_backends",
+]
 
 
 class ExecutionBackend(ABC):
@@ -78,3 +87,57 @@ def available_backends() -> list[str]:
     from repro.parallel import serial, vectorized, processpool  # noqa: F401
 
     return sorted(_REGISTRY)
+
+
+class MergeBackend(ABC):
+    """Evaluates one block-merge phase's candidate scan (paper Alg. 1).
+
+    The scan is embarrassingly parallel: every candidate merge is scored
+    against the *frozen* blockmodel, so implementations only differ in
+    how they batch the work. They MUST NOT mutate ``bm`` and MUST return
+    decisions bit-identical to the serial oracle — the greedy apply step
+    sorts on the returned deltas, so any rounding drift changes which
+    merges happen.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def evaluate_merges(
+        self, bm: Blockmodel, uniforms: np.ndarray
+    ) -> tuple[np.ndarray, IntArray]:
+        """Return ``(best_delta, best_target)`` arrays of shape ``(C,)``.
+
+        ``uniforms`` is the ``(C, proposals, 4)`` Philox table; for each
+        block ``r`` the lowest-delta candidate among its proposals is
+        kept (first proposal wins ties, matching the serial strict-``<``
+        scan).
+        """
+
+
+_MERGE_REGISTRY: dict[str, Callable[..., MergeBackend]] = {}
+
+
+def register_merge_backend(name: str, factory: Callable[..., MergeBackend]) -> None:
+    """Register a merge-phase backend factory under ``name``."""
+    if name in _MERGE_REGISTRY:
+        raise BackendError(f"merge backend {name!r} already registered")
+    _MERGE_REGISTRY[name] = factory
+
+
+def get_merge_backend(name: str, **kwargs) -> MergeBackend:
+    """Instantiate a merge backend by name: 'serial' or 'vectorized'."""
+    from repro.parallel import merge  # noqa: F401  (registers built-ins)
+
+    factory = _MERGE_REGISTRY.get(name)
+    if factory is None:
+        raise BackendError(
+            f"unknown merge backend {name!r}; available: {sorted(_MERGE_REGISTRY)}"
+        )
+    return factory(**kwargs)
+
+
+def available_merge_backends() -> list[str]:
+    from repro.parallel import merge  # noqa: F401
+
+    return sorted(_MERGE_REGISTRY)

@@ -26,29 +26,13 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.parallel.backend import ExecutionBackend, register_backend
 from repro.sbm.blockmodel import Blockmodel
+from repro.sbm.entropy import xlogx_counts as _g
 from repro.types import IntArray
+from repro.utils.arrays import expand_ranges as _expand_ranges
 
 __all__ = ["VectorizedBackend"]
 
 _MAX_EXPONENT = 700.0
-
-
-def _g(x: np.ndarray) -> np.ndarray:
-    out = np.zeros_like(x, dtype=np.float64)
-    mask = x > 0
-    np.multiply(x, np.log(x, where=mask, out=np.zeros_like(x, dtype=np.float64)),
-                where=mask, out=out)
-    return out
-
-
-def _expand_ranges(starts: IntArray, lengths: IntArray) -> IntArray:
-    """Concatenate ``arange(starts[i], starts[i] + lengths[i])`` for all i."""
-    total = int(lengths.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    cum = np.zeros(lengths.shape[0], dtype=np.int64)
-    np.cumsum(lengths[:-1], out=cum[1:])
-    return np.arange(total, dtype=np.int64) + np.repeat(starts - cum, lengths)
 
 
 class VectorizedBackend(ExecutionBackend):

@@ -31,7 +31,9 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.sbm.blockmodel import Blockmodel
-from repro.types import IntArray
+from repro.sbm.entropy import xlogx_counts as _g
+from repro.types import FloatArray, IntArray
+from repro.utils.arrays import expand_ranges
 
 __all__ = [
     "VertexMoveContext",
@@ -39,16 +41,8 @@ __all__ = [
     "vertex_move_delta",
     "hastings_correction",
     "merge_delta",
+    "merge_delta_batch",
 ]
-
-
-def _g(x: np.ndarray) -> np.ndarray:
-    """Vectorized ``x log x`` over non-negative integer counts."""
-    arr = np.asarray(x, dtype=np.float64)
-    out = np.zeros_like(arr)
-    mask = arr > 0
-    np.multiply(arr, np.log(arr, where=mask, out=np.zeros_like(arr)), where=mask, out=out)
-    return out
 
 
 def _g_scalar(x: float) -> float:
@@ -247,7 +241,9 @@ def hastings_correction(bm: Blockmodel, ctx: VertexMoveContext, s: int) -> float
 def merge_delta(bm: Blockmodel, r: int, s: int) -> float:
     """``dS`` (likelihood part) for merging block ``r`` into ``s`` (Alg. 1).
 
-    O(C) using the two affected rows and columns.
+    O(C) using the two affected rows and columns. Generic terms are
+    reduced with :func:`_seq_sum` (strict left-to-right accumulation) so
+    :func:`merge_delta_batch` can reproduce the result bit-for-bit.
     """
     if r == s:
         return 0.0
@@ -262,9 +258,8 @@ def merge_delta(bm: Blockmodel, r: int, s: int) -> float:
     col_r = B[mask, r].astype(np.float64)
     col_s = B[mask, s].astype(np.float64)
 
-    delta_g = float(
-        (_g(row_r + row_s) - _g(row_r) - _g(row_s)).sum()
-        + (_g(col_r + col_s) - _g(col_r) - _g(col_s)).sum()
+    delta_g = _seq_sum(_g(row_r + row_s) - _g(row_r) - _g(row_s)) + _seq_sum(
+        _g(col_r + col_s) - _g(col_r) - _g(col_s)
     )
     corner_new = float(B[s, s] + B[r, s] + B[s, r] + B[r, r])
     delta_g += (
@@ -285,6 +280,129 @@ def merge_delta(bm: Blockmodel, r: int, s: int) -> float:
     )
 
     return -(delta_g - delta_deg)
+
+
+def merge_delta_batch(bm: Blockmodel, r: IntArray, s: IntArray) -> FloatArray:
+    """Batch :func:`merge_delta` over aligned candidate arrays ``r``, ``s``.
+
+    Bit-identical to the scalar oracle, but O(nnz) instead of O(C) per
+    candidate. The key identity: a generic term
+    ``g(B[r,t] + B[s,t]) - g(B[r,t]) - g(B[s,t])`` is exactly ``+0.0``
+    unless *both* cells are non-zero, and adding ``+0.0`` never perturbs
+    an IEEE float sum (no term is ``-0.0``). So only the support
+    *intersections* of the two merged rows (and columns) contribute:
+    they are materialized as (candidate, block, count) triplets via one
+    sorted merge over CSR/CSC walks of ``B`` and reduced per candidate
+    with ``np.add.at`` — sequential accumulation in ascending block
+    order, the same order :func:`_seq_sum` gives the serial oracle.
+    Duplicate ``(r, s)`` pairs — frequent, since each block draws
+    several proposals from one CDF — are evaluated once and scattered
+    back.
+    """
+    r = np.asarray(r, dtype=np.int64)
+    s = np.asarray(s, dtype=np.int64)
+    if r.shape != s.shape or r.ndim != 1:
+        raise ValueError("r and s must be aligned 1-D candidate arrays")
+    out = np.zeros(r.shape[0], dtype=np.float64)
+    live = r != s  # merging a block with itself is a no-op (delta 0)
+    if not live.any():
+        return out
+
+    B = bm.B
+    C = bm.num_blocks
+    keys = r[live] * C + s[live]
+    ukeys, inv = np.unique(keys, return_inverse=True)
+    ur = ukeys // C
+    us = ukeys % C
+
+    # Sparse views of B: CSR (row-major nonzeros) and CSC (column-major).
+    nz_r, nz_c = np.nonzero(B)
+    nz_v = B[nz_r, nz_c]
+    row_ptr = np.zeros(C + 1, dtype=np.int64)
+    np.cumsum(np.bincount(nz_r, minlength=C), out=row_ptr[1:])
+    csc_order = np.argsort(nz_c * C + nz_r, kind="stable")
+    col_ptr = np.zeros(C + 1, dtype=np.int64)
+    np.cumsum(np.bincount(nz_c, minlength=C), out=col_ptr[1:])
+
+    delta_g = _intersection_terms(
+        ur, us, C, row_ptr, nz_c, nz_v
+    ) + _intersection_terms(
+        ur, us, C, col_ptr, nz_r[csc_order], nz_v[csc_order]
+    )
+
+    # Intersection cells collapse onto the merged diagonal entry.
+    brr = B[ur, ur].astype(np.float64)
+    brs = B[ur, us].astype(np.float64)
+    bsr = B[us, ur].astype(np.float64)
+    bss = B[us, us].astype(np.float64)
+    corner_new = bss + brs + bsr + brr
+    delta_g = delta_g + (_g(corner_new) - _g(bss) - _g(brs) - _g(bsr) - _g(brr))
+
+    do_r = bm.d_out[ur].astype(np.float64)
+    do_s = bm.d_out[us].astype(np.float64)
+    di_r = bm.d_in[ur].astype(np.float64)
+    di_s = bm.d_in[us].astype(np.float64)
+    delta_deg = (
+        _g(do_r + do_s) - _g(do_r) - _g(do_s)
+        + _g(di_r + di_s) - _g(di_r) - _g(di_s)
+    )
+
+    out[live] = (-(delta_g - delta_deg))[inv]
+    return out
+
+
+def _intersection_terms(
+    ur: IntArray,
+    us: IntArray,
+    C: int,
+    ptr: IntArray,
+    support: IntArray,
+    values: IntArray,
+) -> FloatArray:
+    """Per-pair ``sum_t g(a_t + b_t) - g(a_t) - g(b_t)`` over shared support.
+
+    ``ptr``/``support``/``values`` describe a CSR-like structure (rows of
+    ``B`` or of ``B^T``); for every pair ``(ur[p], us[p])`` the two
+    sparse lines are walked, tagged with the pair index, and merged by a
+    stable sort on ``(pair, block)`` — entries sharing both land
+    adjacently (line ``ur`` first), yielding the intersection triplets.
+    Blocks ``t in {r, s}`` are the corner cells and are excluded here.
+    """
+    num_pairs = ur.shape[0]
+    acc = np.zeros(num_pairs, dtype=np.float64)
+    len_r = ptr[ur + 1] - ptr[ur]
+    len_s = ptr[us + 1] - ptr[us]
+    idx_r = expand_ranges(ptr[ur], len_r)
+    idx_s = expand_ranges(ptr[us], len_s)
+    if idx_r.size == 0 or idx_s.size == 0:
+        return acc
+    pid = np.concatenate([
+        np.repeat(np.arange(num_pairs, dtype=np.int64), len_r),
+        np.repeat(np.arange(num_pairs, dtype=np.int64), len_s),
+    ])
+    blk = np.concatenate([support[idx_r], support[idx_s]])
+    val = np.concatenate([values[idx_r], values[idx_s]])
+
+    key = pid * C + blk
+    order = np.argsort(key, kind="stable")  # ur-side precedes us-side on ties
+    key = key[order]
+    val = val[order]
+    hit = key[:-1] == key[1:]
+    if not hit.any():
+        return acc
+    i = np.nonzero(hit)[0]
+    p = key[i] // C
+    t = key[i] % C
+    keep = (t != ur[p]) & (t != us[p])
+    i = i[keep]
+    p = p[keep]
+    a = val[i].astype(np.float64)      # from row/col ur
+    b = val[i + 1].astype(np.float64)  # from row/col us
+    terms = _g(a + b) - _g(a) - _g(b)
+    # Sorted by (pair, block): add.at accumulates each pair's terms in
+    # ascending block order — bit-identical to the oracle's _seq_sum.
+    np.add.at(acc, p, terms)
+    return acc
 
 
 # ----------------------------------------------------------------------

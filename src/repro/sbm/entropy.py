@@ -28,6 +28,7 @@ from repro.types import FloatArray
 
 __all__ = [
     "xlogx",
+    "xlogx_counts",
     "h_binary",
     "dcsbm_log_likelihood",
     "description_length",
@@ -44,6 +45,23 @@ def xlogx(x: np.ndarray | float) -> np.ndarray | float:
     np.multiply(arr, np.log(arr, where=mask, out=np.zeros_like(arr)), where=mask, out=out)
     if np.ndim(x) == 0:
         return float(out)
+    return out
+
+
+def xlogx_counts(x: np.ndarray) -> np.ndarray:
+    """Vectorized ``x log x`` over non-negative count arrays.
+
+    The delta-MDL kernels (:mod:`repro.sbm.delta`) and the batch sweep
+    backend (:mod:`repro.parallel.vectorized`) evaluate this on every
+    changed blockmodel cell; it is the single canonical implementation
+    both import so serial and vectorized paths share bit-identical
+    rounding. Unlike :func:`xlogx` it always returns an array (no scalar
+    unwrapping), which keeps it allocation-minimal on the hot path.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    out = np.zeros_like(arr)
+    mask = arr > 0
+    np.multiply(arr, np.log(arr, where=mask, out=np.zeros_like(arr)), where=mask, out=out)
     return out
 
 

@@ -27,6 +27,7 @@ from repro.sbm.blockmodel import Blockmodel
 __all__ = [
     "propose_vertex_move",
     "propose_block_merge",
+    "propose_block_merges_batch",
     "accept_probability",
     "MAX_EXPONENT",
 ]
@@ -80,6 +81,92 @@ def propose_block_merge(bm: Blockmodel, r: int, uniforms: np.ndarray) -> int:
     if s == r:
         return _uniform_other(C, r, uniforms[3])
     return s
+
+
+def propose_block_merges_batch(bm: Blockmodel, uniforms: np.ndarray) -> np.ndarray:
+    """Batch form of :func:`propose_block_merge`: all blocks in one shot.
+
+    ``uniforms`` is the full ``(C, proposals, 4)`` table the serial loop
+    consumes row by row; the returned ``(C, proposals)`` int64 target
+    matrix is bit-identical to evaluating :func:`propose_block_merge` per
+    candidate. The draw semantics survive vectorization because every
+    inverse-CDF lookup is reduced to integer-exact comparisons: for an
+    integer CDF, ``cdf[i] <= x`` holds iff ``cdf[i] <= floor(x)``, so the
+    float draw ``u * total`` can be floored once and resolved against a
+    single flattened CDF table with per-row offsets.
+    """
+    C = bm.num_blocks
+    if C <= 1:
+        raise ValueError("cannot propose a merge with fewer than two blocks")
+    u = np.asarray(uniforms, dtype=np.float64)
+    if u.ndim != 3 or u.shape[0] != C or u.shape[2] < 4:
+        raise ValueError(f"uniforms must have shape (C, proposals, >=4), got {u.shape}")
+
+    B = bm.B
+    # Fallback draw, uniform over the C - 1 blocks != r (see _uniform_other).
+    r_col = np.arange(C, dtype=np.int64)[:, None]
+    fb = (u[:, :, 3] * (C - 1)).astype(np.int64)
+    fallback = fb + (fb >= r_col)
+    targets = fallback.copy()
+
+    # One compressed CDF table serves both multinomial stages: row r of
+    # M = B + B^T is block r's incident-edge profile (stage 1) and the
+    # neighbour-block weight vector of any stage-2 draw that landed on r.
+    # M is built sparsely (symmetrized COO of B's non-zeros, sorted by
+    # (row, col), duplicates segment-summed) and its global value cumsum
+    # IS the per-row-offset CDF over non-zero entries only. Zero-weight
+    # cells are CDF plateaus that searchsorted(side="right") can never
+    # return, so dropping them leaves every draw bit-identical to the
+    # dense row scan of the serial oracle.
+    nz_r, nz_c = np.nonzero(B)
+    nz_v = B[nz_r, nz_c].astype(np.int64)
+    key = np.concatenate([nz_r * C + nz_c, nz_c * C + nz_r])
+    val = np.concatenate([nz_v, nz_v])
+    order = np.argsort(key, kind="stable")
+    key = key[order]
+    val = val[order]
+    if key.size:
+        starts = np.concatenate(
+            [[0], np.nonzero(np.diff(key))[0] + 1]
+        ).astype(np.int64)
+        mrow = key[starts] // C
+        mcol = key[starts] % C
+        mval = np.add.reduceat(val, starts)
+    else:
+        mrow = mcol = mval = np.empty(0, dtype=np.int64)
+
+    row_ptr = np.zeros(C + 1, dtype=np.int64)
+    np.cumsum(np.bincount(mrow, minlength=C), out=row_ptr[1:])
+    gcum = np.concatenate([[0], np.cumsum(mval)]).astype(np.int64)
+    base = gcum[row_ptr[:-1]]     # cumulative totals of rows < r
+    totals = gcum[row_ptr[1:]] - base
+    flat = gcum[1:]               # the offset CDF itself
+
+    live = np.nonzero(totals > 0)[0]  # rows with d_r == 0 keep the fallback
+    if live.size == 0:
+        return targets
+
+    # Stage 1: intermediate block u from block r's incident profile.
+    t_r = totals[live][:, None]
+    q1 = np.floor(u[live, :, 0] * t_r).astype(np.int64)
+    np.minimum(q1, t_r - 1, out=q1)
+    ub = mcol[np.searchsorted(flat, q1 + base[live][:, None], side="right")]
+
+    # Stage 2: exploration-vs-exploitation mixture, then the multinomial
+    # over u's neighbour blocks for the exploiting candidates.
+    d_u = bm.d[ub]
+    exploit = u[live, :, 1] >= C / (d_u + C)
+    t_u = totals[ub]
+    q2 = np.floor(u[live, :, 2] * t_u).astype(np.int64)
+    np.minimum(q2, np.maximum(t_u - 1, 0), out=q2)
+    pos = np.searchsorted(flat, q2 + base[ub], side="right")
+    s = mcol[np.minimum(pos, mcol.size - 1)]  # t_u == 0 rows masked below
+
+    chosen = exploit & (t_u > 0) & (s != live[:, None])
+    out_live = fallback[live]
+    out_live[chosen] = s[chosen]
+    targets[live] = out_live
+    return targets
 
 
 def accept_probability(delta_s: float, hastings: float, beta: float) -> float:

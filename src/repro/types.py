@@ -36,12 +36,20 @@ class PhaseTimings:
 
     The ICPP'22 paper reports its Fig. 2 breakdown (MCMC vs block-merge +
     other) and all speedup numbers from exactly these accumulators.
+
+    ``merge_scan`` and ``merge_apply`` are sub-buckets of
+    ``block_merge`` (already included in it, so excluded from ``total``):
+    the embarrassingly parallel candidate scan — the part the merge
+    backends accelerate — versus the sequential sort/union-find/rebuild
+    tail of Alg. 1.
     """
 
     block_merge: float = 0.0
     mcmc: float = 0.0
     rebuild: float = 0.0
     other: float = 0.0
+    merge_scan: float = 0.0
+    merge_apply: float = 0.0
 
     @property
     def total(self) -> float:
@@ -61,6 +69,8 @@ class PhaseTimings:
             mcmc=self.mcmc + other.mcmc,
             rebuild=self.rebuild + other.rebuild,
             other=self.other + other.other,
+            merge_scan=self.merge_scan + other.merge_scan,
+            merge_apply=self.merge_apply + other.merge_apply,
         )
 
 

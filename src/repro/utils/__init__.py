@@ -1,5 +1,6 @@
 """Utility layer: seeded RNG streams, timers, logging and validation."""
 
+from repro.utils.arrays import expand_ranges
 from repro.utils.rng import SweepRandomness, philox_stream, spawn_seeds
 from repro.utils.log import get_logger, configure_logging
 from repro.utils.timer import Timer, StopwatchPool
@@ -10,6 +11,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "expand_ranges",
     "SweepRandomness",
     "philox_stream",
     "spawn_seeds",

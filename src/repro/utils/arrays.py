@@ -1,0 +1,24 @@
+"""Small vectorized array helpers shared by the batch kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import IntArray
+
+__all__ = ["expand_ranges"]
+
+
+def expand_ranges(starts: IntArray, lengths: IntArray) -> IntArray:
+    """Concatenate ``arange(starts[i], starts[i] + lengths[i])`` for all i.
+
+    The gather primitive of the CSR-walking batch kernels: turns per-row
+    (offset, length) pairs into one flat index vector without a Python
+    loop.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cum = np.zeros(lengths.shape[0], dtype=np.int64)
+    np.cumsum(lengths[:-1], out=cum[1:])
+    return np.arange(total, dtype=np.int64) + np.repeat(starts - cum, lengths)

@@ -135,3 +135,48 @@ class TestMergeDelta:
         assignment = rng.integers(0, 4, 20).astype(np.int64)
         bm = Blockmodel.from_assignment(graph, assignment, 4)
         assert merge_delta(bm, 0, 2) == pytest.approx(merge_delta(bm, 2, 0), abs=1e-9)
+
+
+class TestMergeDeltaBatch:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_bit_identical_to_scalar(self, seed):
+        from repro.sbm.delta import merge_delta_batch
+
+        graph, bm, rng = _random_state(seed)
+        C = bm.num_blocks
+        r = rng.integers(0, C, 40).astype(np.int64)
+        s = rng.integers(0, C, 40).astype(np.int64)
+        batch = merge_delta_batch(bm, r, s)
+        for i in range(40):
+            scalar = merge_delta(bm, int(r[i]), int(s[i]))
+            # bitwise equality is the backend-equivalence contract
+            assert np.float64(scalar).tobytes() == batch[i].tobytes(), (
+                r[i], s[i], scalar, batch[i]
+            )
+
+    def test_self_merge_zero(self, tiny_graph, tiny_truth):
+        from repro.sbm.delta import merge_delta_batch
+
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        r = np.array([0, 1, 0], dtype=np.int64)
+        out = merge_delta_batch(bm, r, r)
+        np.testing.assert_array_equal(out, np.zeros(3))
+
+    def test_duplicate_pairs_share_value(self, tiny_graph, tiny_truth):
+        from repro.sbm.delta import merge_delta_batch
+
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        r = np.array([0, 0, 0], dtype=np.int64)
+        s = np.array([1, 1, 1], dtype=np.int64)
+        out = merge_delta_batch(bm, r, s)
+        assert out[0] == out[1] == out[2] == merge_delta(bm, 0, 1)
+
+    def test_shape_mismatch_rejected(self, tiny_graph, tiny_truth):
+        from repro.sbm.delta import merge_delta_batch
+
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        with pytest.raises(ValueError):
+            merge_delta_batch(
+                bm, np.zeros(3, dtype=np.int64), np.zeros(2, dtype=np.int64)
+            )

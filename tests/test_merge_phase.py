@@ -7,6 +7,12 @@ import pytest
 
 from repro import Blockmodel, SBPConfig
 from repro.core.merge import block_merge_phase
+from repro.parallel.backend import (
+    available_merge_backends,
+    get_merge_backend,
+)
+from repro.parallel.merge import SerialMergeBackend, VectorizedMergeBackend
+from repro.utils.rng import philox_stream
 
 
 @pytest.fixture
@@ -74,3 +80,85 @@ class TestBlockMergePhase:
             truth, merged.assignment, norm="min"
         )
         assert homogeneity > 0.5
+
+
+class TestMergeBackendEquivalence:
+    """The vectorized scan must be bit-identical to the serial oracle."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    @pytest.mark.parametrize("proposals", [1, 3, 10])
+    def test_scan_bit_identical(self, planted_graph, seed, proposals):
+        graph, _ = planted_graph
+        bm = Blockmodel.singleton(graph)
+        C = bm.num_blocks
+        uniforms = philox_stream(seed, 0, 1).random((C, proposals, 4))
+        delta_s, target_s = SerialMergeBackend().evaluate_merges(bm, uniforms)
+        delta_v, target_v = VectorizedMergeBackend().evaluate_merges(bm, uniforms)
+        np.testing.assert_array_equal(target_s, target_v)
+        # exact float equality, not allclose: decisions must match bitwise
+        assert delta_s.tobytes() == delta_v.tobytes()
+
+    @pytest.mark.parametrize("seed", [2, 9])
+    def test_scan_bit_identical_partway(self, medium_graph, seed):
+        """Equivalence must also hold on a coarsened (non-singleton) state
+        where B has multi-count cells and empty rows are possible."""
+        graph, _ = medium_graph
+        bm = Blockmodel.singleton(graph)
+        bm = block_merge_phase(
+            bm, graph, bm.num_blocks // 2, SBPConfig(seed=seed), iteration=1
+        )
+        C = bm.num_blocks
+        uniforms = philox_stream(seed, 0, 2).random((C, 5, 4))
+        delta_s, target_s = SerialMergeBackend().evaluate_merges(bm, uniforms)
+        delta_v, target_v = VectorizedMergeBackend().evaluate_merges(bm, uniforms)
+        np.testing.assert_array_equal(target_s, target_v)
+        assert delta_s.tobytes() == delta_v.tobytes()
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    @pytest.mark.parametrize("num_merges", [1, 20, 10_000])
+    def test_phase_assignment_identical(self, planted_graph, seed, num_merges):
+        """Full phase (scan + greedy apply) agrees, including the
+        ``num_merges > C - 1`` clamp."""
+        graph, _ = planted_graph
+        bm = Blockmodel.singleton(graph)
+        out_s = block_merge_phase(
+            bm, graph, num_merges,
+            SBPConfig(seed=seed, merge_backend="serial"), iteration=1,
+        )
+        out_v = block_merge_phase(
+            bm, graph, num_merges,
+            SBPConfig(seed=seed, merge_backend="vectorized"), iteration=1,
+        )
+        assert out_s.num_blocks == out_v.num_blocks
+        np.testing.assert_array_equal(out_s.assignment, out_v.assignment)
+
+    def test_single_block_is_noop(self, tiny_graph):
+        bm = Blockmodel.from_assignment(
+            tiny_graph, np.zeros(tiny_graph.num_vertices, dtype=np.int64)
+        )
+        for backend in ("serial", "vectorized"):
+            out = block_merge_phase(
+                bm, tiny_graph, 5,
+                SBPConfig(seed=1, merge_backend=backend), iteration=1,
+            )
+            assert out.num_blocks == 1
+
+    def test_registry(self):
+        names = available_merge_backends()
+        assert "serial" in names and "vectorized" in names
+        assert isinstance(get_merge_backend("serial"), SerialMergeBackend)
+        assert isinstance(get_merge_backend("vectorized"), VectorizedMergeBackend)
+        with pytest.raises(Exception):
+            get_merge_backend("no-such-backend")
+
+    def test_timer_sections_populated(self, planted_graph):
+        from repro.utils.timer import StopwatchPool
+
+        graph, _ = planted_graph
+        bm = Blockmodel.singleton(graph)
+        timers = StopwatchPool()
+        block_merge_phase(
+            bm, graph, 10, SBPConfig(seed=4), iteration=1, timers=timers
+        )
+        assert timers.elapsed("merge_scan") > 0.0
+        assert timers.elapsed("merge_apply") > 0.0

@@ -123,3 +123,51 @@ class TestAcceptProbability:
         deltas = [0.0, 0.5, 1.0, 2.0, 4.0]
         probs = [accept_probability(d, 1.0, 3.0) for d in deltas]
         assert all(b <= a for a, b in zip(probs, probs[1:]))
+
+
+class TestBatchMergeProposals:
+    def test_matches_scalar_loop(self, medium_graph):
+        from repro.sbm.moves import propose_block_merges_batch
+
+        graph, _ = medium_graph
+        bm = Blockmodel.singleton(graph)
+        C = bm.num_blocks
+        rng = np.random.default_rng(6)
+        uniforms = rng.random((C, 4, 4))
+        batch = propose_block_merges_batch(bm, uniforms)
+        for r in range(C):
+            for j in range(uniforms.shape[1]):
+                assert batch[r, j] == propose_block_merge(bm, r, uniforms[r, j])
+
+    def test_isolated_blocks_use_fallback(self, tiny_graph):
+        from repro.sbm.moves import propose_block_merges_batch
+
+        # blocks with d_r == 0 (no incident edges) draw uniform-other
+        assignment = np.zeros(tiny_graph.num_vertices, dtype=np.int64)
+        assignment[0] = 1
+        bm = Blockmodel.from_assignment(tiny_graph, assignment, 4)  # 2 empty
+        rng = np.random.default_rng(8)
+        uniforms = rng.random((4, 3, 4))
+        batch = propose_block_merges_batch(bm, uniforms)
+        for r in range(4):
+            for j in range(3):
+                expected = propose_block_merge(bm, r, uniforms[r, j])
+                assert batch[r, j] == expected
+                assert batch[r, j] != r
+
+    def test_single_block_rejected(self, tiny_graph):
+        from repro.sbm.moves import propose_block_merges_batch
+
+        bm = Blockmodel.from_assignment(
+            tiny_graph, np.zeros(tiny_graph.num_vertices, dtype=np.int64), 1
+        )
+        with pytest.raises(ValueError):
+            propose_block_merges_batch(bm, np.zeros((1, 1, 4)))
+
+    def test_bad_shape_rejected(self, medium_graph):
+        from repro.sbm.moves import propose_block_merges_batch
+
+        graph, _ = medium_graph
+        bm = Blockmodel.singleton(graph)
+        with pytest.raises(ValueError):
+            propose_block_merges_batch(bm, np.zeros((3, 4)))
