@@ -28,6 +28,8 @@ from repro.errors import (
     ConvergenceError,
     BackendError,
     ExperimentError,
+    SerializationError,
+    CheckpointError,
 )
 from repro.graph import (
     Graph,
@@ -81,11 +83,17 @@ from repro.io import (
     save_blockmodel,
     load_blockmodel,
 )
-from repro.diagnostics import SweepTrace, trace_from_result
+from repro.diagnostics import SweepTrace, trace_from_result, run_health
 from repro.parallel import (
     get_backend,
     available_backends,
     SimulatedThreadModel,
+)
+from repro.resilience import (
+    RunCheckpointer,
+    ResilientBackend,
+    InvariantAuditor,
+    StopGuard,
 )
 
 __version__ = "1.0.0"
@@ -100,6 +108,8 @@ __all__ = [
     "ConvergenceError",
     "BackendError",
     "ExperimentError",
+    "SerializationError",
+    "CheckpointError",
     # graph
     "Graph",
     "GraphBuilder",
@@ -149,9 +159,15 @@ __all__ = [
     # diagnostics
     "SweepTrace",
     "trace_from_result",
+    "run_health",
     # parallel
     "get_backend",
     "available_backends",
     "SimulatedThreadModel",
+    # resilience
+    "RunCheckpointer",
+    "ResilientBackend",
+    "InvariantAuditor",
+    "StopGuard",
     "__version__",
 ]

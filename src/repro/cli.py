@@ -72,10 +72,24 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--seed", type=int, default=0)
     detect.add_argument("--beta", type=float, default=3.0)
     detect.add_argument("--vstar-fraction", type=float, default=0.15)
-    detect.add_argument("--backend", default="vectorized")
+    detect.add_argument("--backend", default="vectorized",
+                        help="execution backend; 'resilient:<inner>' wraps "
+                             "<inner> with timeout/retry/fallback handling")
     detect.add_argument("--merge-backend", default="vectorized",
                         choices=["serial", "vectorized"],
                         help="block-merge scan kernel (bit-identical results)")
+    detect.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget for the whole detect; past it "
+                             "the best-so-far result is returned "
+                             "(interrupted=true)")
+    detect.add_argument("--checkpoint", metavar="DIR",
+                        help="checkpoint directory; snapshots every "
+                             "agglomerative iteration and resumes from the "
+                             "latest valid snapshot if DIR already has one")
+    detect.add_argument("--audit-every", type=int, default=0, metavar="N",
+                        help="run the self-healing invariant audit every N "
+                             "agglomerative iterations (0 = off)")
     detect.add_argument("--output", help="write 'vertex community' lines here")
     detect.add_argument("--json", action="store_true",
                         help="print a JSON summary instead of text")
@@ -124,8 +138,17 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         vstar_fraction=args.vstar_fraction,
         backend=args.backend,
         merge_backend=args.merge_backend,
+        time_budget=args.time_budget,
+        audit_cadence=args.audit_every,
     )
-    best, all_results = run_best_of(graph, config, runs=args.runs)
+    checkpointer = None
+    if args.checkpoint:
+        from repro.resilience import RunCheckpointer
+
+        checkpointer = RunCheckpointer(args.checkpoint)
+    best, all_results = run_best_of(
+        graph, config, runs=args.runs, checkpointer=checkpointer
+    )
     summary = {
         "graph": args.graph,
         "V": graph.num_vertices,
@@ -138,7 +161,15 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         "modularity": directed_modularity(graph, best.assignment),
         "mcmc_seconds_total": sum(r.mcmc_seconds for r in all_results),
         "sweeps_total": sum(r.mcmc_sweeps for r in all_results),
+        "interrupted": any(r.interrupted for r in all_results),
     }
+    if summary["interrupted"]:
+        print(
+            "note: run interrupted (time budget or SIGINT); reporting the "
+            "best partition found so far"
+            + (f"; resume with --checkpoint {args.checkpoint}" if args.checkpoint else ""),
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(summary, indent=2))
     else:

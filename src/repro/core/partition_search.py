@@ -71,6 +71,26 @@ class GoldenSectionSearch:
     def best_mdl(self) -> float:
         return self._anchors[1].mdl
 
+    def export_anchors(self) -> list[tuple[Blockmodel | None, float]]:
+        """Snapshot the anchor triplet for checkpointing.
+
+        Blockmodels are copied, so the caller may persist them while the
+        search keeps running.
+        """
+        return [
+            (None if a.bm is None else a.bm.copy(), a.mdl) for a in self._anchors
+        ]
+
+    def restore_anchors(
+        self, anchors: list[tuple[Blockmodel | None, float]]
+    ) -> None:
+        """Restore a triplet produced by :meth:`export_anchors` (resume)."""
+        if len(anchors) != 3:
+            raise ValueError(f"expected 3 anchors, got {len(anchors)}")
+        self._anchors = [
+            _Anchor(bm if bm is None else bm.copy(), mdl) for bm, mdl in anchors
+        ]
+
     def update(self, bm: Blockmodel, mdl: float) -> SearchStep:
         """Record a candidate and prescribe the next evaluation.
 

@@ -30,6 +30,9 @@ class SBPResult:
     outer_iterations: int
     seed: int
     converged: bool
+    #: True when the run was cut short (SIGINT or time budget) and this
+    #: is the best-so-far partition rather than a converged search.
+    interrupted: bool = False
     sweep_stats: list[SweepStats] = field(default_factory=list, repr=False)
     #: golden-section trace: (num_blocks, mdl) per agglomerative iteration
     search_history: list[tuple[int, float]] = field(default_factory=list, repr=False)
@@ -56,6 +59,7 @@ class SBPResult:
             "total_s": self.total_seconds,
             "sweeps": self.mcmc_sweeps,
             "converged": self.converged,
+            "interrupted": self.interrupted,
         }
 
 

@@ -5,9 +5,21 @@ and MCMC phases, steering the number of communities with the
 golden-section search until the MDL is minimized. ``run_best_of``
 repeats a run with derived seeds and keeps the lowest-MDL result, the
 paper's §4.2 protocol.
+
+Both drivers are resilient (see :mod:`repro.resilience`): passing a
+:class:`~repro.resilience.checkpoint.RunCheckpointer` snapshots the
+outer-loop state atomically after every agglomerative iteration and
+resumes from the latest valid snapshot — bit-identically, because all
+randomness is a pure function of ``(seed, phase tag, sweep)``. SIGINT
+and ``SBPConfig.time_budget`` stop the run between sweeps and return the
+best-so-far partition flagged ``interrupted=True`` instead of dying with
+a stack trace, and ``SBPConfig.audit_cadence`` runs self-healing
+invariant audits during the search.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -15,6 +27,7 @@ from repro.core.merge import block_merge_phase
 from repro.core.partition_search import GoldenSectionSearch
 from repro.core.results import SBPResult, best_of
 from repro.core.variants import SBPConfig, Variant
+from repro.errors import CheckpointError
 from repro.graph.graph import Graph
 from repro.mcmc.async_gibbs import async_gibbs_sweep
 from repro.mcmc.batched import batched_gibbs_sweep
@@ -22,6 +35,9 @@ from repro.mcmc.convergence import ConvergenceMonitor
 from repro.mcmc.hybrid import hybrid_sweep, split_vertices_by_degree
 from repro.mcmc.metropolis import metropolis_sweep
 from repro.parallel.backend import ExecutionBackend, get_backend
+from repro.resilience.audit import InvariantAuditor
+from repro.resilience.checkpoint import RunCheckpoint, RunCheckpointer, config_digest
+from repro.resilience.interrupt import StopGuard
 from repro.sbm.blockmodel import Blockmodel
 from repro.sbm.entropy import normalized_description_length
 from repro.types import PhaseTimings, SweepStats
@@ -47,13 +63,16 @@ def run_mcmc_phase(
     iteration: int,
     threshold: float,
     timers: StopwatchPool,
+    stop: StopGuard | None = None,
 ) -> list[SweepStats]:
     """Run the variant-specific MCMC phase to convergence, mutating ``bm``.
 
     Implements the shared loop of Algs. 2-4: sweep until the windowed
     |dMDL| falls below ``threshold * MDL`` or ``config.max_sweeps`` is
     reached. Wall-clock is accrued to the ``mcmc`` timer, with per-sweep
-    rebuild time split out into ``rebuild``.
+    rebuild time split out into ``rebuild``. When ``stop`` triggers
+    (SIGINT / time budget) the phase returns early between sweeps,
+    leaving ``bm`` in the valid post-sweep state.
     """
     monitor = ConvergenceMonitor(threshold, config.max_sweeps)
     rebuild_timer = timers.timer("rebuild")
@@ -72,6 +91,8 @@ def run_mcmc_phase(
     stats_log: list[SweepStats] = []
     sweep = 0
     while True:
+        if stop is not None and stop.triggered:
+            break
         rebuild_before = rebuild_timer.elapsed
         mcmc_timer.start()
         if config.variant is Variant.SBP:
@@ -142,11 +163,20 @@ def run_mcmc_phase(
     return stats_log
 
 
-def run_sbp(graph: Graph, config: SBPConfig | None = None) -> SBPResult:
+def run_sbp(
+    graph: Graph,
+    config: SBPConfig | None = None,
+    checkpointer: RunCheckpointer | None = None,
+) -> SBPResult:
     """Run one full stochastic block partitioning inference on ``graph``.
 
     Returns the lowest-MDL partition found by the golden-section search,
-    with per-phase timings and sweep statistics.
+    with per-phase timings and sweep statistics. With a ``checkpointer``
+    the run snapshots its outer-loop state after every agglomerative
+    iteration and resumes from the latest valid snapshot on the next
+    call — reproducing the uninterrupted run's result bit-identically.
+    (Per-sweep statistics of iterations completed before a crash are not
+    reconstructed on resume; counters and the search history are.)
     """
     if config is None:
         config = SBPConfig()
@@ -155,53 +185,104 @@ def run_sbp(graph: Graph, config: SBPConfig | None = None) -> SBPResult:
     search = GoldenSectionSearch(
         reduction_rate=config.block_reduction_rate, min_blocks=1
     )
+    auditor = InvariantAuditor(config.audit_cadence, config.audit_self_heal)
+    stop = StopGuard(config.time_budget)
+    digest = config_digest(config)
 
-    with timers.section("other"):
-        bm = Blockmodel.singleton(graph)
-        mdl = bm.mdl(graph)
+    state = checkpointer.load() if checkpointer is not None else None
+    if state is not None:
+        if state.config_digest != digest:
+            raise CheckpointError(
+                f"{checkpointer.directory}: checkpoint was written by an "
+                "incompatible configuration (seed/variant/chain parameters "
+                "differ); refusing to resume"
+            )
+        bm = state.bm
+        mdl = state.mdl
+        outer = state.outer
+        total_sweeps = state.total_sweeps
+        search_history = list(state.search_history)
+        state.restore_search(search)
+        for name, seconds in state.timings.items():
+            timers.add(name, seconds)
+        _log.info(
+            "resumed [%s] from %s at iteration %d (C=%d, mdl=%.2f)",
+            config.variant.value, checkpointer.directory, outer,
+            bm.num_blocks, mdl,
+        )
+    else:
+        with timers.section("other"):
+            bm = Blockmodel.singleton(graph)
+            mdl = bm.mdl(graph)
+        outer = 0
+        total_sweeps = 0
+        search_history = []
+        if checkpointer is not None:
+            # Initial snapshot: even a run interrupted before its first
+            # iteration completes leaves a valid resume point on disk.
+            checkpointer.save(_snapshot(
+                search, bm, mdl, outer, total_sweeps, search_history,
+                timers, digest,
+            ))
 
-    total_sweeps = 0
-    outer = 0
     all_stats: list[SweepStats] = []
-    search_history: list[tuple[int, float]] = []
     converged = False
+    interrupted = False
     try:
-        while True:
-            step = search.update(bm, mdl)
-            if step.done:
-                converged = True
-                break
-            if outer >= config.max_outer_iterations:
-                break
-            outer += 1
-            assert step.start is not None
-            with timers.section("block_merge"):
-                bm = block_merge_phase(
-                    step.start, graph, step.num_merges, config, outer,
-                    timers=timers,
+        with stop.install():
+            while True:
+                step = search.update(bm, mdl)
+                if step.done:
+                    converged = True
+                    break
+                if outer >= config.max_outer_iterations:
+                    break
+                if stop.triggered:
+                    interrupted = True
+                    break
+                outer += 1
+                assert step.start is not None
+                with timers.section("block_merge"):
+                    bm = block_merge_phase(
+                        step.start, graph, step.num_merges, config, outer,
+                        timers=timers,
+                    )
+                if config.validate:
+                    bm.check_consistency(graph)
+                threshold = (
+                    config.mcmc_threshold_final
+                    if search.bracket_established
+                    else config.mcmc_threshold
                 )
-            if config.validate:
-                bm.check_consistency(graph)
-            threshold = (
-                config.mcmc_threshold_final
-                if search.bracket_established
-                else config.mcmc_threshold
-            )
-            phase_stats = run_mcmc_phase(
-                bm, graph, config, backend, outer, threshold, timers
-            )
-            total_sweeps += len(phase_stats)
-            all_stats.extend(phase_stats)
-            with timers.section("other"):
-                bm.compact()
-                mdl = bm.mdl(graph)
-            search_history.append((bm.num_blocks, mdl))
-            _log.info(
-                "iter %d [%s]: C=%d mdl=%.2f sweeps=%d (%s)",
-                outer, config.variant.value, bm.num_blocks, mdl,
-                len(phase_stats),
-                "golden" if search.bracket_established else "halving",
-            )
+                phase_stats = run_mcmc_phase(
+                    bm, graph, config, backend, outer, threshold, timers,
+                    stop=stop,
+                )
+                total_sweeps += len(phase_stats)
+                all_stats.extend(phase_stats)
+                with timers.section("other"):
+                    bm.compact()
+                    mdl = bm.mdl(graph)
+                mdl = auditor.guard_mdl(mdl, bm, graph, outer)
+                if auditor.due(outer):
+                    with timers.section("other"):
+                        auditor.audit(bm, graph, outer)
+                        mdl = bm.mdl(graph)  # a heal may have changed B
+                search_history.append((bm.num_blocks, mdl))
+                _log.info(
+                    "iter %d [%s]: C=%d mdl=%.2f sweeps=%d (%s)",
+                    outer, config.variant.value, bm.num_blocks, mdl,
+                    len(phase_stats),
+                    "golden" if search.bracket_established else "halving",
+                )
+                # Only fully-converged iterations are checkpointed: a
+                # phase cut short by the stop guard would resume from a
+                # different point in the chain than a clean rerun.
+                if checkpointer is not None and not stop.triggered:
+                    checkpointer.save(_snapshot(
+                        search, bm, mdl, outer, total_sweeps,
+                        search_history, timers, digest,
+                    ))
     finally:
         backend.close()
 
@@ -209,8 +290,9 @@ def run_sbp(graph: Graph, config: SBPConfig | None = None) -> SBPResult:
     best.compact()
     best_mdl = search.best_mdl
     _log.info(
-        "done [%s]: C=%d mdl=%.2f after %d iterations / %d sweeps "
+        "%s [%s]: C=%d mdl=%.2f after %d iterations / %d sweeps "
         "(merge %.2fs, mcmc %.2fs, rebuild %.2fs)",
+        "interrupted" if interrupted else "done",
         config.variant.value, best.num_blocks, best_mdl, outer, total_sweeps,
         timers.elapsed("block_merge"), timers.elapsed("mcmc"),
         timers.elapsed("rebuild"),
@@ -238,23 +320,84 @@ def run_sbp(graph: Graph, config: SBPConfig | None = None) -> SBPResult:
         outer_iterations=outer,
         seed=config.seed,
         converged=converged,
+        interrupted=interrupted,
         sweep_stats=all_stats if config.record_work else [],
         search_history=search_history,
     )
 
 
+def _snapshot(
+    search: GoldenSectionSearch,
+    bm: Blockmodel,
+    mdl: float,
+    outer: int,
+    total_sweeps: int,
+    search_history: list[tuple[int, float]],
+    timers: StopwatchPool,
+    digest: str,
+) -> RunCheckpoint:
+    return RunCheckpoint(
+        outer=outer,
+        total_sweeps=total_sweeps,
+        bm=bm.copy(),
+        mdl=mdl,
+        anchors=search.export_anchors(),
+        search_history=list(search_history),
+        timings=timers.snapshot(),
+        config_digest=digest,
+    )
+
+
 def run_best_of(
-    graph: Graph, config: SBPConfig | None = None, runs: int = 5
+    graph: Graph,
+    config: SBPConfig | None = None,
+    runs: int = 5,
+    checkpointer: RunCheckpointer | None = None,
 ) -> tuple[SBPResult, list[SBPResult]]:
     """Paper §4.2 protocol: ``runs`` independent runs, keep the lowest MDL.
 
     Returns ``(best, all_results)``; aggregate timings (the paper sums
     MCMC time across all runs) are computed by the caller from the list.
+
+    With a ``checkpointer``, each finished member run is persisted and
+    the in-flight run snapshots into a per-run subdirectory, so a killed
+    best-of search resumes mid-member. ``config.time_budget`` is a
+    budget for the *whole* protocol: remaining wall-clock is handed down
+    to each member run, and an exhausted budget stops launching members.
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
     if config is None:
         config = SBPConfig()
     seeds = spawn_seeds(config.seed, runs)
-    results = [run_sbp(graph, config.replace(seed=s)) for s in seeds]
+    deadline = (
+        time.monotonic() + config.time_budget
+        if config.time_budget is not None
+        else None
+    )
+    results: list[SBPResult] = []
+    for index, seed in enumerate(seeds):
+        run_config = config.replace(seed=seed)
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 and results:
+                _log.info(
+                    "best-of budget exhausted after %d/%d runs", index, runs
+                )
+                break
+            run_config = run_config.replace(time_budget=max(remaining, 0.0))
+        if checkpointer is None:
+            results.append(run_sbp(graph, run_config))
+            continue
+        prior = checkpointer.load_completed(index)
+        if prior is not None:
+            results.append(prior)
+            continue
+        result = run_sbp(
+            graph, run_config, checkpointer=checkpointer.child(f"run_{index:02d}")
+        )
+        results.append(result)
+        if result.interrupted:
+            break  # don't mark completed; a resume reruns this member
+        checkpointer.save_completed(index, result)
     return best_of(results), results

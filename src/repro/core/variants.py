@@ -70,6 +70,16 @@ class SBPConfig:
     validate:
         Run O(E + C^2) blockmodel consistency checks after each phase
         (debug aid; slow).
+    time_budget:
+        Wall-clock budget in seconds for one run; past the deadline the
+        driver stops between sweeps and returns the best-so-far result
+        flagged ``interrupted=True``. ``None`` disables the deadline.
+    audit_cadence:
+        Run the invariant audit (consistency check + non-finite MDL
+        guard) every N agglomerative iterations; 0 disables auditing.
+    audit_self_heal:
+        When an audit finds a corrupt B matrix, rebuild it from the
+        assignment (and log) instead of raising immediately.
     """
 
     variant: Variant = Variant.SBP
@@ -88,6 +98,9 @@ class SBPConfig:
     record_work: bool = False
     max_outer_iterations: int = 120
     validate: bool = False
+    time_budget: float | None = None
+    audit_cadence: int = 0
+    audit_self_heal: bool = True
 
     def __post_init__(self) -> None:
         self.variant = Variant(self.variant)
@@ -103,6 +116,10 @@ class SBPConfig:
             raise ValueError("num_batches must be >= 1")
         if self.beta <= 0:
             raise ValueError("beta must be > 0")
+        if self.time_budget is not None and self.time_budget < 0:
+            raise ValueError("time_budget must be >= 0 (or None)")
+        if self.audit_cadence < 0:
+            raise ValueError("audit_cadence must be >= 0")
 
     def replace(self, **changes) -> "SBPConfig":
         """Return a copy with the given fields changed."""

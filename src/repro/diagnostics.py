@@ -16,7 +16,7 @@ import numpy as np
 from repro.core.results import SBPResult
 from repro.types import FloatArray
 
-__all__ = ["SweepTrace", "trace_from_result"]
+__all__ = ["SweepTrace", "trace_from_result", "run_health"]
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,36 @@ class SweepTrace:
             "acceptance_decay": self.acceptance_decay(),
             "parallel_fraction": self.parallel_fraction,
         }
+
+
+def run_health(result: SBPResult) -> dict[str, object]:
+    """Triage summary for a finished (or interrupted) run.
+
+    Flat dict for logs/dashboards: did the search converge, was it cut
+    short, and is the reported MDL actually usable (finite, below the
+    null model)? ``ok`` is the single rollup bit operators alert on.
+    """
+    mdl_finite = bool(np.isfinite(result.mdl))
+    beats_null = mdl_finite and result.normalized_mdl < 1.0
+    problems: list[str] = []
+    if not mdl_finite:
+        problems.append("non-finite MDL")
+    if result.interrupted:
+        problems.append("interrupted (best-so-far result)")
+    elif not result.converged:
+        problems.append("search hit max_outer_iterations without converging")
+    if mdl_finite and not beats_null:
+        problems.append("MDL does not beat the null model (no structure found)")
+    return {
+        "ok": not problems,
+        "converged": result.converged,
+        "interrupted": result.interrupted,
+        "mdl_finite": mdl_finite,
+        "beats_null": beats_null,
+        "outer_iterations": result.outer_iterations,
+        "mcmc_sweeps": result.mcmc_sweeps,
+        "problems": problems,
+    }
 
 
 def trace_from_result(result: SBPResult) -> SweepTrace:

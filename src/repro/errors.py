@@ -15,6 +15,9 @@ __all__ = [
     "ConvergenceError",
     "BackendError",
     "ExperimentError",
+    "SerializationError",
+    "CheckpointError",
+    "FaultInjected",
 ]
 
 
@@ -48,3 +51,24 @@ class BackendError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the benchmark harness for misconfigured experiments."""
+
+
+class SerializationError(ReproError):
+    """Raised when loading a corrupt, truncated or unsupported artifact.
+
+    The message always names the offending path so batch tooling can
+    report which file of a run directory is damaged.
+    """
+
+
+class CheckpointError(SerializationError):
+    """Raised when a run checkpoint is unusable (corrupt snapshot set,
+    or a snapshot written by an incompatible configuration)."""
+
+
+class FaultInjected(BackendError):
+    """Raised by the fault-injection harness (tests only).
+
+    Subclasses :class:`BackendError` so injected worker crashes flow
+    through the same retry/fallback paths as real backend failures.
+    """

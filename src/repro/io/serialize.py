@@ -7,21 +7,33 @@ Three formats, chosen for the artifact's shape:
 * **assignments** — ``vertex community`` text lines, interoperable with
   the CLI and with common community-detection tooling;
 * **blockmodels** — compressed ``.npz`` (the B matrix is a dense array).
+
+All writers are crash-safe: content is written to a temporary file in
+the target directory and atomically :func:`os.replace`-d into place, so
+a crash mid-write can never leave a truncated artifact under the final
+name. All loaders translate low-level decode failures (truncated JSON,
+bad zip members, missing fields, unknown format versions) into
+:class:`~repro.errors.SerializationError` naming the offending path.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
+import zipfile
+from contextlib import contextmanager
+from typing import Iterator
 
 import numpy as np
 
 from repro.core.results import SBPResult
-from repro.errors import ReproError
+from repro.errors import ReproError, SerializationError
 from repro.sbm.blockmodel import Blockmodel
 from repro.types import Assignment, PhaseTimings
 
 __all__ = [
+    "atomic_write",
     "save_result",
     "load_result",
     "save_assignment",
@@ -30,7 +42,62 @@ __all__ = [
     "load_blockmodel",
 ]
 
-_RESULT_FORMAT_VERSION = 1
+_RESULT_FORMAT_VERSION = 2
+
+
+@contextmanager
+def atomic_write(path: str | os.PathLike[str], mode: str = "w") -> Iterator:
+    """Write to ``path`` via a same-directory temp file + :func:`os.replace`.
+
+    Yields an open file handle; on clean exit the temp file replaces
+    ``path`` atomically, on error it is removed and the old artifact (if
+    any) survives untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=f".{os.path.basename(path)}.", suffix=".tmp"
+    )
+    try:
+        kwargs = {} if "b" in mode else {"encoding": "utf-8"}
+        with os.fdopen(fd, mode, **kwargs) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _load_json(path: str | os.PathLike[str], expected_format: str) -> dict:
+    """Read a version-tagged JSON artifact, hardened against corruption."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SerializationError(f"{path}: corrupt or truncated JSON ({exc})") from exc
+    if not isinstance(payload, dict) or payload.get("format") != expected_format:
+        raise SerializationError(f"{path}: not a {expected_format} file")
+    return payload
+
+
+def _check_version(path: str | os.PathLike[str], payload: dict, supported: int) -> int:
+    version = payload.get("version", 0)
+    if isinstance(version, int) and version > supported:
+        raise SerializationError(
+            f"{path}: {payload.get('format')} version {version} is newer "
+            f"than supported v{supported}"
+        )
+    if not isinstance(version, int) or version < 1:
+        raise SerializationError(
+            f"{path}: unknown {payload.get('format')} version {version!r} "
+            f"(supported: 1..{supported})"
+        )
+    return version
 
 
 def save_result(result: SBPResult, path: str | os.PathLike[str]) -> None:
@@ -55,48 +122,46 @@ def save_result(result: SBPResult, path: str | os.PathLike[str]) -> None:
         "outer_iterations": result.outer_iterations,
         "seed": result.seed,
         "converged": result.converged,
+        "interrupted": result.interrupted,
     }
-    with open(path, "w", encoding="utf-8") as fh:
+    with atomic_write(path) as fh:
         json.dump(payload, fh, indent=2)
 
 
 def load_result(path: str | os.PathLike[str]) -> SBPResult:
     """Load a result saved by :func:`save_result`."""
-    with open(path, "r", encoding="utf-8") as fh:
-        payload = json.load(fh)
-    if payload.get("format") != "repro.sbp_result":
-        raise ReproError(f"{path}: not a repro result file")
-    if payload.get("version", 0) > _RESULT_FORMAT_VERSION:
-        raise ReproError(
-            f"{path}: result format v{payload['version']} is newer than "
-            f"supported v{_RESULT_FORMAT_VERSION}"
+    payload = _load_json(path, "repro.sbp_result")
+    _check_version(path, payload, _RESULT_FORMAT_VERSION)
+    try:
+        timings = payload["timings"]
+        return SBPResult(
+            variant=payload["variant"],
+            assignment=np.asarray(payload["assignment"], dtype=np.int64),
+            num_blocks=int(payload["num_blocks"]),
+            mdl=float(payload["mdl"]),
+            normalized_mdl=float(payload["normalized_mdl"]),
+            num_vertices=int(payload["num_vertices"]),
+            num_edges=int(payload["num_edges"]),
+            timings=PhaseTimings(
+                block_merge=float(timings["block_merge"]),
+                mcmc=float(timings["mcmc"]),
+                rebuild=float(timings["rebuild"]),
+                other=float(timings["other"]),
+            ),
+            mcmc_sweeps=int(payload["mcmc_sweeps"]),
+            outer_iterations=int(payload["outer_iterations"]),
+            seed=int(payload["seed"]),
+            converged=bool(payload["converged"]),
+            interrupted=bool(payload.get("interrupted", False)),  # absent in v1
         )
-    timings = payload["timings"]
-    return SBPResult(
-        variant=payload["variant"],
-        assignment=np.asarray(payload["assignment"], dtype=np.int64),
-        num_blocks=int(payload["num_blocks"]),
-        mdl=float(payload["mdl"]),
-        normalized_mdl=float(payload["normalized_mdl"]),
-        num_vertices=int(payload["num_vertices"]),
-        num_edges=int(payload["num_edges"]),
-        timings=PhaseTimings(
-            block_merge=float(timings["block_merge"]),
-            mcmc=float(timings["mcmc"]),
-            rebuild=float(timings["rebuild"]),
-            other=float(timings["other"]),
-        ),
-        mcmc_sweeps=int(payload["mcmc_sweeps"]),
-        outer_iterations=int(payload["outer_iterations"]),
-        seed=int(payload["seed"]),
-        converged=bool(payload["converged"]),
-    )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"{path}: malformed result field ({exc!r})") from exc
 
 
 def save_assignment(assignment: Assignment, path: str | os.PathLike[str]) -> None:
     """Write ``vertex community`` lines (the CLI's community format)."""
     assignment = np.asarray(assignment, dtype=np.int64)
-    with open(path, "w", encoding="utf-8") as fh:
+    with atomic_write(path) as fh:
         fh.write("# vertex community\n")
         for v, c in enumerate(assignment):
             fh.write(f"{v} {c}\n")
@@ -119,7 +184,12 @@ def load_assignment(
             parts = line.split()
             if len(parts) < 2:
                 raise ReproError(f"{path}:{lineno}: expected 'vertex community'")
-            pairs.append((int(parts[0]), int(parts[1])))
+            try:
+                pairs.append((int(parts[0]), int(parts[1])))
+            except ValueError as exc:
+                raise SerializationError(
+                    f"{path}:{lineno}: non-integer assignment entry {line!r}"
+                ) from exc
     if not pairs:
         raise ReproError(f"{path}: no assignments found")
     max_vertex = max(v for v, _ in pairs)
@@ -138,12 +208,16 @@ def load_assignment(
 
 def save_blockmodel(bm: Blockmodel, path: str | os.PathLike[str]) -> None:
     """Persist blockmodel state as compressed ``.npz``."""
-    np.savez_compressed(
-        path,
-        B=bm.B,
-        assignment=bm.assignment,
-        num_blocks=np.asarray([bm.num_blocks], dtype=np.int64),
-    )
+    path = os.fspath(path)
+    if not path.endswith(".npz"):  # match np.savez's implicit suffix
+        path += ".npz"
+    with atomic_write(path, mode="wb") as fh:
+        np.savez_compressed(
+            fh,
+            B=bm.B,
+            assignment=bm.assignment,
+            num_blocks=np.asarray([bm.num_blocks], dtype=np.int64),
+        )
 
 
 def load_blockmodel(path: str | os.PathLike[str]) -> Blockmodel:
@@ -152,15 +226,24 @@ def load_blockmodel(path: str | os.PathLike[str]) -> Blockmodel:
     Degree vectors are recomputed from B (cheaper than storing them and
     immune to tampered files disagreeing with the matrix).
     """
-    with np.load(path) as data:
-        try:
-            B = data["B"].astype(np.int64)
-            assignment = data["assignment"].astype(np.int64)
-            num_blocks = int(data["num_blocks"][0])
-        except KeyError as exc:
-            raise ReproError(f"{path}: missing blockmodel field {exc}") from exc
-    if B.shape != (num_blocks, num_blocks):
-        raise ReproError(
+    try:
+        with np.load(path) as data:
+            try:
+                B = data["B"].astype(np.int64)
+                assignment = data["assignment"].astype(np.int64)
+                num_blocks = int(data["num_blocks"][0])
+            except KeyError as exc:
+                raise SerializationError(
+                    f"{path}: missing blockmodel field {exc}"
+                ) from exc
+    except (zipfile.BadZipFile, EOFError, ValueError, OSError) as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise SerializationError(
+            f"{path}: corrupt or truncated blockmodel archive ({exc})"
+        ) from exc
+    if B.ndim != 2 or B.shape != (num_blocks, num_blocks):
+        raise SerializationError(
             f"{path}: B shape {B.shape} inconsistent with num_blocks {num_blocks}"
         )
     return Blockmodel(

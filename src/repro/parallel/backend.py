@@ -71,11 +71,24 @@ def register_backend(name: str, factory: Callable[..., ExecutionBackend]) -> Non
 
 
 def get_backend(name: str, **kwargs) -> ExecutionBackend:
-    """Instantiate a backend by name: 'serial', 'vectorized' or 'process'."""
+    """Instantiate a backend by name: 'serial', 'vectorized', 'process',
+    'resilient', ...
+
+    A spec of the form ``wrapper:inner`` (e.g. ``resilient:process``)
+    instantiates ``wrapper`` with the remainder passed as its ``inner``
+    keyword, so wrapper backends compose from the CLI's single
+    ``--backend`` string.
+    """
     # Import side registers the built-ins lazily to avoid import cycles.
     from repro.parallel import serial, vectorized, processpool  # noqa: F401
+    from repro.resilience import resilient  # noqa: F401
 
     factory = _REGISTRY.get(name)
+    if factory is None and ":" in name:
+        base, _, inner = name.partition(":")
+        wrapper = _REGISTRY.get(base)
+        if wrapper is not None and inner:
+            return wrapper(inner=inner, **kwargs)
     if factory is None:
         raise BackendError(
             f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
@@ -85,6 +98,7 @@ def get_backend(name: str, **kwargs) -> ExecutionBackend:
 
 def available_backends() -> list[str]:
     from repro.parallel import serial, vectorized, processpool  # noqa: F401
+    from repro.resilience import resilient  # noqa: F401
 
     return sorted(_REGISTRY)
 

@@ -1,12 +1,21 @@
 """Fork-based shared-memory worker pool for the async-Gibbs sweep.
 
 This is the closest Python analogue of the paper's OpenMP design: the
-frozen blockmodel and the graph CSR arrays live in memory shared by all
-workers (copy-on-write pages after ``fork``), workers read them without
-locks, and each worker evaluates a contiguous chunk of the sweep's
-vertices. Because evaluations never write shared state, the result is
-bit-identical to :class:`~repro.parallel.serial.SerialBackend` — which
-is exactly the property asynchronous Gibbs exploits.
+graph CSR arrays live in memory shared by all workers (copy-on-write
+pages after ``fork``), workers read them without locks, and each worker
+evaluates a contiguous chunk of the sweep's vertices. Because
+evaluations never write shared state, the result is bit-identical to
+:class:`~repro.parallel.serial.SerialBackend` — which is exactly the
+property asynchronous Gibbs exploits.
+
+The pool is *persistent*: workers are forked once per graph (inheriting
+the CSR arrays at fork time) and reused across every sweep of the run,
+instead of paying fork + teardown per sweep. The per-sweep frozen
+blockmodel is shipped to workers through the task queue. Failures are
+contained: worker exceptions surface as :class:`BackendError` (never a
+bare ``multiprocessing`` traceback), and a hung or killed worker is
+detected via ``map_async`` + ``sweep_timeout``, after which the pool is
+torn down so the next sweep (or a fallback backend) starts clean.
 
 The GIL prevents *thread*-level speedups in pure Python (the repro
 calibration note for this paper says as much), so this backend exists
@@ -31,32 +40,38 @@ from repro.types import IntArray
 
 __all__ = ["ProcessPoolBackend"]
 
-# Worker-side state, inherited through fork at pool creation time.
+# Worker-side state, inherited through fork at pool creation time. The
+# parent only stages the graph here while forking and clears it
+# immediately after; each worker keeps the reference it inherited.
 _WORKER_STATE: dict[str, object] = {}
 
 
-def _worker_evaluate(args: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
-    """Evaluate vertices [start, stop) of the sweep inside a worker."""
+def _worker_evaluate(
+    args: tuple[np.ndarray, IntArray, IntArray, IntArray, int, IntArray, np.ndarray, float],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate one chunk of the sweep inside a worker.
+
+    The frozen blockmodel arrays arrive through the task queue (they
+    change every sweep); the graph is read from the fork-inherited
+    worker state (it never changes for the pool's lifetime).
+    """
     from repro.mcmc.evaluate import evaluate_vertex
 
-    start, stop = args
-    bm: Blockmodel = _WORKER_STATE["bm"]  # type: ignore[assignment]
+    B, d_out, d_in, assignment, num_blocks, vertices, uniforms, beta = args
     graph: Graph = _WORKER_STATE["graph"]  # type: ignore[assignment]
-    vertices: IntArray = _WORKER_STATE["vertices"]  # type: ignore[assignment]
-    uniforms: np.ndarray = _WORKER_STATE["uniforms"]  # type: ignore[assignment]
-    beta: float = _WORKER_STATE["beta"]  # type: ignore[assignment]
+    bm = Blockmodel(B, d_out, d_in, assignment, num_blocks)
 
-    accepted = np.zeros(stop - start, dtype=bool)
-    targets = np.empty(stop - start, dtype=np.int64)
-    for i in range(start, stop):
-        decision = evaluate_vertex(bm, graph, int(vertices[i]), uniforms[i], beta)
-        accepted[i - start] = decision.accepted
-        targets[i - start] = decision.target
+    accepted = np.zeros(len(vertices), dtype=bool)
+    targets = np.empty(len(vertices), dtype=np.int64)
+    for i, v in enumerate(vertices):
+        decision = evaluate_vertex(bm, graph, int(v), uniforms[i], beta)
+        accepted[i] = decision.accepted
+        targets[i] = decision.target
     return accepted, targets
 
 
 class ProcessPoolBackend(ExecutionBackend):
-    """Evaluate sweep chunks across forked worker processes.
+    """Evaluate sweep chunks across a persistent pool of forked workers.
 
     Parameters
     ----------
@@ -64,18 +79,57 @@ class ProcessPoolBackend(ExecutionBackend):
         Worker process count; defaults to the CPU count.
     min_chunk:
         Sweeps smaller than ``num_workers * min_chunk`` fall back to the
-        in-process serial loop — fork/IPC overhead would dominate.
+        in-process serial loop — IPC overhead would dominate.
+    sweep_timeout:
+        Wall-clock limit per sweep in seconds. A sweep still pending
+        past it (hung or killed worker) raises :class:`BackendError` and
+        tears the pool down. ``None`` waits forever.
     """
 
     name = "process"
 
-    def __init__(self, num_workers: int | None = None, min_chunk: int = 64) -> None:
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        min_chunk: int = 64,
+        sweep_timeout: float | None = None,
+    ) -> None:
         if "fork" not in mp.get_all_start_methods():
             raise BackendError("ProcessPoolBackend requires the 'fork' start method")
         self.num_workers = num_workers or os.cpu_count() or 1
         if self.num_workers < 1:
             raise BackendError(f"num_workers must be >= 1, got {num_workers}")
+        if sweep_timeout is not None and sweep_timeout <= 0:
+            raise BackendError(f"sweep_timeout must be > 0, got {sweep_timeout}")
         self.min_chunk = min_chunk
+        self.sweep_timeout = sweep_timeout
+        self._pool: mp.pool.Pool | None = None
+        # Strong reference to the graph the workers inherited, so an
+        # ``is`` identity check can never be confused by id reuse.
+        self._pool_graph: Graph | None = None
+
+    def _ensure_pool(self, graph: Graph) -> mp.pool.Pool:
+        """Fork the worker pool on first use (or when the graph changes)."""
+        if self._pool is not None and self._pool_graph is graph:
+            return self._pool
+        self._teardown_pool()
+        ctx = mp.get_context("fork")
+        # Publish the graph, then fork: children inherit the CSR arrays
+        # as shared copy-on-write pages — no pickling of the graph, ever.
+        _WORKER_STATE["graph"] = graph
+        try:
+            self._pool = ctx.Pool(processes=self.num_workers)
+        finally:
+            _WORKER_STATE.clear()
+        self._pool_graph = graph
+        return self._pool
+
+    def _teardown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_graph = None
 
     def evaluate_sweep(
         self,
@@ -91,22 +145,37 @@ class ProcessPoolBackend(ExecutionBackend):
 
             return SerialBackend().evaluate_sweep(bm, graph, vertices, uniforms, beta)
 
-        # Publish the frozen state, then fork: children inherit the arrays
-        # as shared copy-on-write pages — no pickling of B or the CSR.
-        _WORKER_STATE.update(
-            bm=bm, graph=graph, vertices=vertices, uniforms=uniforms, beta=beta
-        )
+        pool = self._ensure_pool(graph)
+        tasks = [
+            (
+                bm.B, bm.d_out, bm.d_in, bm.assignment, bm.num_blocks,
+                vertices[start:stop], uniforms[start:stop], beta,
+            )
+            for start, stop in contiguous_chunks(count, self.num_workers)
+        ]
         try:
-            ctx = mp.get_context("fork")
-            chunks = contiguous_chunks(count, self.num_workers)
-            with ctx.Pool(processes=self.num_workers) as pool:
-                parts = pool.map(_worker_evaluate, chunks)
-        finally:
-            _WORKER_STATE.clear()
+            parts = pool.map_async(_worker_evaluate, tasks).get(
+                timeout=self.sweep_timeout
+            )
+        except mp.TimeoutError as exc:
+            self._teardown_pool()
+            raise BackendError(
+                f"process pool sweep exceeded {self.sweep_timeout}s "
+                "(hung or dead worker); pool torn down"
+            ) from exc
+        except BackendError:
+            self._teardown_pool()
+            raise
+        except Exception as exc:  # worker exception re-raised by the pool
+            self._teardown_pool()
+            raise BackendError(f"process pool worker failed: {exc!r}") from exc
 
         accepted = np.concatenate([p[0] for p in parts])
         targets = np.concatenate([p[1] for p in parts])
         return accepted, targets
+
+    def close(self) -> None:
+        self._teardown_pool()
 
 
 register_backend("process", ProcessPoolBackend)

@@ -1,0 +1,35 @@
+"""Resilience layer: checkpoint/resume, fault-tolerant backends, audits.
+
+Long agglomerative SBP runs (hours at paper scale, §4) die today from a
+killed process, a hung worker or a silent NaN. This package makes them
+survivable and auditable:
+
+* :mod:`~repro.resilience.checkpoint` — atomic, versioned snapshots of
+  the outer-loop state; ``run_sbp(..., checkpointer=...)`` resumes from
+  the latest valid snapshot bit-identically.
+* :mod:`~repro.resilience.resilient` — :class:`ResilientBackend`, a
+  timeout/retry/fallback wrapper over any execution backend
+  (``--backend resilient:<inner>``).
+* :mod:`~repro.resilience.audit` — :class:`InvariantAuditor`, the
+  configurable consistency/NaN audit with a ``rebuild()`` self-heal.
+* :mod:`~repro.resilience.interrupt` — :class:`StopGuard`, cooperative
+  SIGINT/time-budget interruption with best-so-far results.
+* :mod:`~repro.resilience.faults` — :class:`ChaosBackend`, the
+  fault-injection harness used by the resilience test suite.
+"""
+
+from repro.resilience.audit import InvariantAuditor
+from repro.resilience.checkpoint import RunCheckpoint, RunCheckpointer, config_digest
+from repro.resilience.faults import ChaosBackend
+from repro.resilience.interrupt import StopGuard
+from repro.resilience.resilient import ResilientBackend
+
+__all__ = [
+    "InvariantAuditor",
+    "RunCheckpoint",
+    "RunCheckpointer",
+    "config_digest",
+    "ChaosBackend",
+    "StopGuard",
+    "ResilientBackend",
+]

@@ -1,0 +1,141 @@
+"""Invariant auditing with graceful degradation.
+
+Two classes of silent corruption can destroy an hours-long run today:
+
+* a B matrix that drifts out of sync with the assignment (bad worker
+  result, memory fault, a future incremental-update bug), and
+* a non-finite MDL (the ``float("nan")`` escape in
+  :func:`repro.sbm.entropy.normalized_description_length`, or a
+  likelihood overflow) that poisons every later comparison because NaN
+  never orders.
+
+:class:`InvariantAuditor` runs :meth:`Blockmodel.check_consistency` on a
+configurable cadence and guards every outer-loop MDL for finiteness.
+Both checks first attempt a ``rebuild()`` self-heal — the assignment
+vector is the source of truth, so recomputing B from it repairs any
+matrix-side corruption — and raise a diagnosed
+:class:`~repro.errors.ConvergenceError` only when the heal fails.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import BlockmodelError, ConvergenceError
+from repro.graph.graph import Graph
+from repro.sbm.blockmodel import Blockmodel
+from repro.utils.log import get_logger
+
+__all__ = ["InvariantAuditor"]
+
+_log = get_logger("resilience.audit")
+
+
+class InvariantAuditor:
+    """Cadence-driven consistency and finiteness checks for one run.
+
+    Parameters
+    ----------
+    cadence:
+        Audit every ``cadence`` agglomerative iterations; 0 disables the
+        consistency audit (the cheap MDL finiteness guard always runs).
+    self_heal:
+        Repair detectable corruption via :meth:`Blockmodel.rebuild`
+        instead of raising on first detection.
+    """
+
+    def __init__(self, cadence: int = 0, self_heal: bool = True) -> None:
+        if cadence < 0:
+            raise ValueError(f"cadence must be >= 0, got {cadence}")
+        self.cadence = cadence
+        self.self_heal = self_heal
+        self.audits_run = 0
+        self.heals = 0
+
+    def due(self, iteration: int) -> bool:
+        return self.cadence > 0 and iteration % self.cadence == 0
+
+    def audit(self, bm: Blockmodel, graph: Graph, iteration: int) -> bool:
+        """Check blockmodel invariants; returns True when a heal occurred.
+
+        Raises :class:`ConvergenceError` when the state is corrupt and
+        either self-healing is disabled or the heal did not converge to
+        a consistent state.
+        """
+        self.audits_run += 1
+        try:
+            bm.check_consistency(graph)
+            return False
+        except BlockmodelError as exc:
+            diagnosis = self._diagnose(bm, graph)
+            if not self.self_heal:
+                raise ConvergenceError(
+                    f"invariant audit failed at iteration {iteration}: {exc} "
+                    f"({diagnosis})"
+                ) from exc
+            _log.warning(
+                "audit at iteration %d found corrupt state (%s; %s); "
+                "rebuilding B from the assignment",
+                iteration, exc, diagnosis,
+            )
+        bm.rebuild(graph)
+        try:
+            bm.check_consistency(graph)
+        except BlockmodelError as exc:
+            raise ConvergenceError(
+                f"invariant audit at iteration {iteration}: state still "
+                f"inconsistent after rebuild ({exc}); assignment itself is "
+                "damaged — aborting instead of continuing on garbage"
+            ) from exc
+        self.heals += 1
+        return True
+
+    def guard_mdl(
+        self, mdl: float, bm: Blockmodel, graph: Graph, iteration: int
+    ) -> float:
+        """Return a finite MDL or raise a diagnosed ConvergenceError.
+
+        A non-finite MDL triggers one ``rebuild()`` + recompute attempt
+        (healing e.g. a corrupted B cell that sent ``x log x`` to NaN);
+        if the recomputed value is still non-finite the run aborts with
+        a diagnosis instead of letting NaN poison the search anchors.
+        """
+        if math.isfinite(mdl):
+            return mdl
+        _log.warning(
+            "non-finite MDL %r at iteration %d; attempting rebuild self-heal",
+            mdl, iteration,
+        )
+        bm.rebuild(graph)
+        healed = bm.mdl(graph)
+        if math.isfinite(healed):
+            self.heals += 1
+            return healed
+        raise ConvergenceError(
+            f"non-finite MDL ({mdl!r}) at iteration {iteration} survived a "
+            f"rebuild (recomputed {healed!r}); {self._diagnose(bm, graph)}"
+        )
+
+    @staticmethod
+    def _diagnose(bm: Blockmodel, graph: Graph) -> str:
+        """One-line description of *what* is wrong, for the error message."""
+        problems: list[str] = []
+        if (bm.B < 0).any():
+            problems.append(f"{int((bm.B < 0).sum())} negative B cells")
+        if int(bm.B.sum()) != graph.num_edges:
+            problems.append(
+                f"B sums to {int(bm.B.sum())} edges, graph has {graph.num_edges}"
+            )
+        if not np.array_equal(bm.B.sum(axis=1), bm.d_out):
+            problems.append("d_out drifted from B row sums")
+        if not np.array_equal(bm.B.sum(axis=0), bm.d_in):
+            problems.append("d_in drifted from B column sums")
+        amin = int(bm.assignment.min()) if bm.assignment.size else 0
+        amax = int(bm.assignment.max()) if bm.assignment.size else 0
+        if amin < 0 or amax >= bm.num_blocks:
+            problems.append(
+                f"assignment range [{amin}, {amax}] outside [0, {bm.num_blocks})"
+            )
+        return "; ".join(problems) if problems else "no structural anomaly found"

@@ -1,0 +1,93 @@
+"""Fault-injection harness (tests only).
+
+:class:`ChaosBackend` wraps a real execution backend and misbehaves at
+configured sweep indices: raise a :class:`~repro.errors.FaultInjected`
+worker crash, hang past any reasonable timeout, or hand back a corrupted
+decision array. The resilience test suite drives
+:class:`~repro.resilience.resilient.ResilientBackend`, the checkpoint
+layer and the invariant audits against it; nothing in the library
+imports this module on a production path.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import FaultInjected
+from repro.graph.graph import Graph
+from repro.parallel.backend import ExecutionBackend
+from repro.sbm.blockmodel import Blockmodel
+from repro.types import IntArray
+
+__all__ = ["ChaosBackend", "RAISE", "HANG", "CORRUPT"]
+
+RAISE = "raise"
+HANG = "hang"
+CORRUPT = "corrupt"
+
+
+class ChaosBackend(ExecutionBackend):
+    """Injects faults into an otherwise-correct backend.
+
+    Parameters
+    ----------
+    inner:
+        The backend producing correct results between faults.
+    faults:
+        Map from 0-based sweep-call index to a fault kind (``"raise"``,
+        ``"hang"`` or ``"corrupt"``). Calls not listed pass through.
+    hang_seconds:
+        Upper bound on an injected hang; the wait is released early by
+        :meth:`close` so abandoned attempt threads exit promptly, and a
+        finished hang raises :class:`FaultInjected` rather than
+        returning a result.
+    """
+
+    name = "chaos"
+
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        faults: dict[int, str],
+        hang_seconds: float = 30.0,
+    ) -> None:
+        unknown = {kind for kind in faults.values()} - {RAISE, HANG, CORRUPT}
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        self.inner = inner
+        self.faults = dict(faults)
+        self.hang_seconds = hang_seconds
+        self.calls = 0
+        self._released = threading.Event()
+
+    def evaluate_sweep(
+        self,
+        bm: Blockmodel,
+        graph: Graph,
+        vertices: IntArray,
+        uniforms: np.ndarray,
+        beta: float,
+    ) -> tuple[np.ndarray, IntArray]:
+        call = self.calls
+        self.calls += 1
+        fault = self.faults.get(call)
+        if fault == RAISE:
+            raise FaultInjected(f"injected worker crash at sweep call {call}")
+        if fault == HANG:
+            self._released.wait(self.hang_seconds)
+            raise FaultInjected(f"injected hang at sweep call {call} timed out")
+        accepted, targets = self.inner.evaluate_sweep(
+            bm, graph, vertices, uniforms, beta
+        )
+        if fault == CORRUPT:
+            # Out-of-range targets: detectable corruption, the kind a
+            # half-dead worker writing garbage would produce.
+            targets = targets + bm.num_blocks
+            accepted = np.ones_like(accepted, dtype=bool)
+        return accepted, targets
+
+    def close(self) -> None:
+        self._released.set()
+        self.inner.close()

@@ -1,0 +1,78 @@
+"""Cooperative interruption: SIGINT and wall-clock deadlines.
+
+The drivers poll a :class:`StopGuard` between sweeps and between
+agglomerative iterations. A first Ctrl-C (or an expired time budget)
+flips the guard, letting the driver finish the current sweep, write its
+final checkpoint and return a best-so-far result flagged
+``interrupted=True``; a second Ctrl-C falls through to the ordinary
+``KeyboardInterrupt`` for users who really mean *now*.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.utils.log import get_logger
+
+__all__ = ["StopGuard"]
+
+_log = get_logger("resilience.interrupt")
+
+
+class StopGuard:
+    """Latch that turns SIGINT / a deadline into a polled stop request."""
+
+    def __init__(self, time_budget: float | None = None) -> None:
+        self._stopped = False
+        self.reason: str | None = None
+        self._deadline = (
+            time.monotonic() + time_budget if time_budget is not None else None
+        )
+
+    @property
+    def triggered(self) -> bool:
+        if self._stopped:
+            return True
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            self.trigger("time budget exhausted")
+        return self._stopped
+
+    def trigger(self, reason: str = "stop requested") -> None:
+        if not self._stopped:
+            self._stopped = True
+            self.reason = reason
+            _log.info("stopping run gracefully: %s", reason)
+
+    @contextmanager
+    def install(self) -> Iterator["StopGuard"]:
+        """Route SIGINT into :meth:`trigger` for the duration of a run.
+
+        Signal handlers can only be set from the main thread; from
+        worker threads the guard still honours the deadline and manual
+        triggers, it just cannot intercept Ctrl-C.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            yield self
+            return
+        previous = signal.getsignal(signal.SIGINT)
+
+        def _handle(signum: int, frame: object) -> None:
+            if self._stopped:
+                # Second Ctrl-C: stop being graceful.
+                signal.signal(signal.SIGINT, previous)
+                raise KeyboardInterrupt
+            self.trigger("SIGINT received (press again to abort immediately)")
+
+        try:
+            signal.signal(signal.SIGINT, _handle)
+        except ValueError:  # non-main interpreter contexts
+            yield self
+            return
+        try:
+            yield self
+        finally:
+            signal.signal(signal.SIGINT, previous)

@@ -6,8 +6,9 @@ import numpy as np
 import pytest
 
 from repro import Blockmodel, SBPConfig, run_sbp
-from repro.errors import ReproError
+from repro.errors import ReproError, SerializationError
 from repro.io.serialize import (
+    atomic_write,
     load_assignment,
     load_blockmodel,
     load_result,
@@ -51,6 +52,58 @@ class TestResultRoundtrip:
         path.write_text(json.dumps(payload))
         with pytest.raises(ReproError, match="newer"):
             load_result(path)
+
+    def test_truncated_json_names_path(self, result, tmp_path):
+        """A crash-truncated artifact must fail loudly, naming the file."""
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        path.write_text(path.read_text()[: 50])
+        with pytest.raises(SerializationError, match=str(path)):
+            load_result(path)
+
+    def test_missing_field_names_path(self, result, tmp_path):
+        import json
+
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        payload = json.loads(path.read_text())
+        del payload["assignment"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError, match="malformed result field"):
+            load_result(path)
+
+    def test_v1_result_without_interrupted_loads(self, result, tmp_path):
+        """Pre-resilience artifacts (v1, no 'interrupted') still load."""
+        import json
+
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 1
+        del payload["interrupted"]
+        path.write_text(json.dumps(payload))
+        assert load_result(path).interrupted is False
+
+
+class TestAtomicWrite:
+    def test_failed_write_preserves_old_artifact(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        path.write_text("old contents")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as fh:
+                fh.write("half-written")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "old contents"
+        # No stray temp files survive the failure.
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.txt"]
+
+    def test_clean_write_replaces(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        path.write_text("old")
+        with atomic_write(path) as fh:
+            fh.write("new")
+        assert path.read_text() == "new"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.txt"]
 
 
 class TestAssignmentRoundtrip:
@@ -103,6 +156,29 @@ class TestBlockmodelRoundtrip:
         )
         with pytest.raises(ReproError):
             load_blockmodel(path)
+
+    def test_truncated_archive_names_path(self, tiny_graph, tiny_truth, tmp_path):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        path = tmp_path / "bm.npz"
+        save_blockmodel(bm, path)
+        path.write_bytes(path.read_bytes()[: 30])
+        with pytest.raises(SerializationError, match=str(path)):
+            load_blockmodel(path)
+
+    def test_missing_member_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, B=np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(SerializationError, match="missing blockmodel field"):
+            load_blockmodel(path)
+
+    def test_missing_file_still_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_blockmodel(tmp_path / "absent.npz")
+
+    def test_suffix_appended_like_savez(self, tiny_graph, tiny_truth, tmp_path):
+        bm = Blockmodel.from_assignment(tiny_graph, tiny_truth)
+        save_blockmodel(bm, tmp_path / "bm")
+        assert (tmp_path / "bm.npz").exists()
 
 
 class TestAdjustedRandIndex:
