@@ -1,0 +1,213 @@
+"""MCMC-phase barrier benchmark: rebuild oracle vs incremental engine.
+
+Two hot paths measured on the same state, same moves:
+
+* **Sweep barrier** — reconciling the blockmodel with a sweep's moved
+  set in a late-phase, low-acceptance regime (0.2% of vertices move):
+  ``RebuildUpdater`` (O(E) recount) vs ``IncrementalUpdater``
+  (O(Σ deg(moved)) scatter delta). Byte-equality of the resulting
+  state is asserted every barrier.
+* **Serial pass** — neighbour-guided proposals with and without the
+  :class:`ProposalCache` (the O(C) row add + cumsum per proposal that
+  the cache memoizes between dirty-set invalidations).
+
+Sizes default to V in {1e3, 1e4, 1e5}; override with a comma-separated
+``REPRO_MCMC_PHASE_SIZES`` or run ``python benchmarks/bench_mcmc_phase.py
+--quick`` (CI smoke: V in {1e3, 1e4}, fewer repetitions).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.graph.graph import Graph
+from repro.sbm.blockmodel import Blockmodel
+from repro.sbm.incremental import IncrementalUpdater, RebuildUpdater
+from repro.sbm.moves import propose_vertex_move
+from repro.utils.rng import philox_stream
+
+DEFAULT_SIZES = [1_000, 10_000, 100_000]
+QUICK_SIZES = [1_000, 10_000]
+SEED = 29
+MEAN_DEGREE = 8
+#: late-phase regime: fraction of vertices moved per sweep barrier
+MOVED_FRACTION = 0.002
+BARRIERS = 10
+#: serial-pass proposals are capped so the Python loop stays tractable
+MAX_PROPOSALS = 20_000
+#: acceptance floor for the barrier at the largest benchmarked size
+MIN_BARRIER_SPEEDUP_LARGE = 5.0
+
+
+def _sizes() -> list[int]:
+    raw = os.environ.get("REPRO_MCMC_PHASE_SIZES", "")
+    if not raw:
+        return list(DEFAULT_SIZES)
+    return [int(tok) for tok in raw.split(",") if tok.strip()]
+
+
+def _random_multigraph(num_vertices: int, rng: np.random.Generator) -> Graph:
+    """Uniform random multigraph with ~1% self-loops.
+
+    Degree shape is irrelevant for barrier cost (it is O(E) vs
+    O(Σ deg(moved)) either way), so a flat multigraph keeps setup cheap
+    at V = 1e5 while still exercising loops and parallel edges.
+    """
+    num_edges = num_vertices * MEAN_DEGREE
+    edges = rng.integers(0, num_vertices, size=(num_edges, 2), dtype=np.int64)
+    loops = rng.random(num_edges) < 0.01
+    edges[loops, 1] = edges[loops, 0]
+    return Graph(num_vertices, edges)
+
+
+def _bench_barrier(
+    graph: Graph, num_blocks: int, rng: np.random.Generator, barriers: int
+) -> tuple[float, float, int]:
+    """Total rebuild vs delta-apply seconds over ``barriers`` moved sets."""
+    assignment = rng.integers(0, num_blocks, graph.num_vertices)
+    reb_bm = Blockmodel.from_assignment(graph, assignment, num_blocks)
+    inc_bm = reb_bm.copy()
+    rebuild = RebuildUpdater()
+    incremental = IncrementalUpdater()
+    moved_count = max(1, int(MOVED_FRACTION * graph.num_vertices))
+
+    reb_s = 0.0
+    inc_s = 0.0
+    for _ in range(barriers):
+        moved = rng.choice(graph.num_vertices, size=moved_count, replace=False)
+        targets = rng.integers(0, num_blocks, moved_count)
+
+        start = time.perf_counter()
+        rebuild.apply_sweep(reb_bm, graph, moved, targets)
+        reb_s += time.perf_counter() - start
+
+        start = time.perf_counter()
+        incremental.apply_sweep(inc_bm, graph, moved, targets)
+        inc_s += time.perf_counter() - start
+
+        assert np.array_equal(reb_bm.B, inc_bm.B), "barrier states diverge"
+        assert np.array_equal(reb_bm.d, inc_bm.d)
+        assert np.array_equal(reb_bm.assignment, inc_bm.assignment)
+    return reb_s, inc_s, moved_count
+
+
+def _bench_serial_pass(
+    graph: Graph, bm: Blockmodel, proposals: int
+) -> tuple[float, float]:
+    """Uncached vs cached proposal seconds over ``proposals`` vertices.
+
+    A frozen-state pass (no moves are applied) isolates the row
+    add + cumsum cost; identical proposals are asserted per vertex.
+    """
+    uniforms = philox_stream(SEED, 4242, 0).random((proposals, 5))
+    vertices = np.arange(proposals, dtype=np.int64) % graph.num_vertices
+    cache = IncrementalUpdater().make_proposal_cache(bm)
+
+    start = time.perf_counter()
+    plain = [
+        propose_vertex_move(bm, graph, int(v), uniforms[i])
+        for i, v in enumerate(vertices)
+    ]
+    uncached_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cached = [
+        propose_vertex_move(bm, graph, int(v), uniforms[i], cache=cache)
+        for i, v in enumerate(vertices)
+    ]
+    cached_s = time.perf_counter() - start
+
+    assert plain == cached, "cached proposals diverge from the uncached scan"
+    return uncached_s, cached_s
+
+
+def mcmc_phase_rows(
+    sizes: list[int] | None = None, barriers: int = BARRIERS
+) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for num_vertices in sizes if sizes is not None else _sizes():
+        rng = np.random.default_rng(SEED)
+        graph = _random_multigraph(num_vertices, rng)
+        num_blocks = max(8, num_vertices // 100)
+
+        reb_s, inc_s, moved = _bench_barrier(graph, num_blocks, rng, barriers)
+
+        proposals = min(num_vertices, MAX_PROPOSALS)
+        bm = Blockmodel.from_assignment(
+            graph, rng.integers(0, num_blocks, num_vertices), num_blocks
+        )
+        uncached_s, cached_s = _bench_serial_pass(graph, bm, proposals)
+
+        rows.append(
+            {
+                "V": num_vertices,
+                "E": graph.num_edges,
+                "C": num_blocks,
+                "moved": moved,
+                "rebuild_s": reb_s,
+                "apply_s": inc_s,
+                "barrier_speedup": reb_s / inc_s if inc_s > 0 else float("inf"),
+                "uncached_s": uncached_s,
+                "cached_s": cached_s,
+                "serial_speedup": (
+                    uncached_s / cached_s if cached_s > 0 else float("inf")
+                ),
+                "bit_identical": True,
+            }
+        )
+    return rows
+
+
+def _check_rows(rows: list[dict[str, object]]) -> None:
+    largest = max(rows, key=lambda r: r["V"])
+    if largest["V"] >= 100_000:
+        assert largest["barrier_speedup"] >= MIN_BARRIER_SPEEDUP_LARGE, (
+            f"V={largest['V']}: barrier speedup "
+            f"{largest['barrier_speedup']:.1f}x below the "
+            f"{MIN_BARRIER_SPEEDUP_LARGE:.0f}x floor"
+        )
+    else:  # smoke sizes: equality already asserted, just require a win
+        assert largest["barrier_speedup"] > 1.0, largest
+    assert largest["serial_speedup"] > 1.0, largest
+
+
+def test_mcmc_phase_speedup(benchmark):
+    from benchmarks.conftest import run_once
+    from repro.bench.reporting import write_report
+
+    rows = run_once(benchmark, mcmc_phase_rows)
+    report = format_table(
+        rows,
+        title="MCMC sweep barrier: rebuild oracle vs incremental delta-apply",
+    )
+    write_report("mcmc_phase", report)
+    _check_rows(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"smoke sizes {QUICK_SIZES} with 3 barriers (CI)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        rows = mcmc_phase_rows(QUICK_SIZES, barriers=3)
+    else:
+        rows = mcmc_phase_rows()
+    print(format_table(
+        rows,
+        title="MCMC sweep barrier: rebuild oracle vs incremental delta-apply",
+    ))
+    _check_rows(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--merge-backend", default="vectorized",
                         choices=["serial", "vectorized"],
                         help="block-merge scan kernel (bit-identical results)")
+    detect.add_argument("--update-strategy", default="incremental",
+                        choices=["rebuild", "incremental"],
+                        help="sweep-barrier engine: O(E) full recount or "
+                             "O(deg(moved)) delta-apply (bit-identical results)")
     detect.add_argument("--time-budget", type=float, default=None,
                         metavar="SECONDS",
                         help="wall-clock budget for the whole detect; past it "
@@ -138,6 +142,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         vstar_fraction=args.vstar_fraction,
         backend=args.backend,
         merge_backend=args.merge_backend,
+        update_strategy=args.update_strategy,
         time_budget=args.time_budget,
         audit_cadence=args.audit_every,
     )

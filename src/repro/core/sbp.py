@@ -34,7 +34,11 @@ from repro.mcmc.batched import batched_gibbs_sweep
 from repro.mcmc.convergence import ConvergenceMonitor
 from repro.mcmc.hybrid import hybrid_sweep, split_vertices_by_degree
 from repro.mcmc.metropolis import metropolis_sweep
-from repro.parallel.backend import ExecutionBackend, get_backend
+from repro.parallel.backend import (
+    ExecutionBackend,
+    get_backend,
+    get_update_strategy,
+)
 from repro.resilience.audit import InvariantAuditor
 from repro.resilience.checkpoint import RunCheckpoint, RunCheckpointer, config_digest
 from repro.resilience.interrupt import StopGuard
@@ -70,13 +74,16 @@ def run_mcmc_phase(
     Implements the shared loop of Algs. 2-4: sweep until the windowed
     |dMDL| falls below ``threshold * MDL`` or ``config.max_sweeps`` is
     reached. Wall-clock is accrued to the ``mcmc`` timer, with per-sweep
-    rebuild time split out into ``rebuild``. When ``stop`` triggers
-    (SIGINT / time budget) the phase returns early between sweeps,
-    leaving ``bm`` in the valid post-sweep state.
+    barrier time split out into ``rebuild`` (and, inside the update
+    engine, the ``barrier_rebuild``/``barrier_apply`` sub-bucket of the
+    engine actually used). When ``stop`` triggers (SIGINT / time budget)
+    the phase returns early between sweeps, leaving ``bm`` in the valid
+    post-sweep state.
     """
     monitor = ConvergenceMonitor(threshold, config.max_sweeps)
     rebuild_timer = timers.timer("rebuild")
     mcmc_timer = timers.timer("mcmc")
+    updater = get_update_strategy(config.update_strategy, timers=timers)
 
     with mcmc_timer.measure():
         monitor.start(bm.mdl(graph))
@@ -101,7 +108,7 @@ def run_mcmc_phase(
             )
             stats = metropolis_sweep(
                 bm, graph, all_vertices, rand, config.beta,
-                record_work=config.record_work,
+                record_work=config.record_work, updater=updater,
             )
         elif config.variant is Variant.ASBP:
             rand = SweepRandomness.draw(
@@ -110,6 +117,7 @@ def run_mcmc_phase(
             stats = async_gibbs_sweep(
                 bm, graph, all_vertices, rand, config.beta, backend,
                 record_work=config.record_work, rebuild_timer=rebuild_timer,
+                updater=updater,
             )
         elif config.variant is Variant.BSBP:
             rand = SweepRandomness.draw(
@@ -119,6 +127,7 @@ def run_mcmc_phase(
                 bm, graph, all_vertices, rand, config.beta, backend,
                 config.num_batches,
                 record_work=config.record_work, rebuild_timer=rebuild_timer,
+                updater=updater,
             )
         else:  # HSBP
             assert vstar is not None and vminus is not None
@@ -131,7 +140,7 @@ def run_mcmc_phase(
             stats = hybrid_sweep(
                 bm, graph, vstar, vminus, rand_serial, rand_async,
                 config.beta, backend, record_work=config.record_work,
-                rebuild_timer=rebuild_timer,
+                rebuild_timer=rebuild_timer, updater=updater,
             )
         mdl = bm.mdl(graph)
         mcmc_timer.stop()
@@ -153,6 +162,7 @@ def run_mcmc_phase(
                     delta_mdl=stats.delta_mdl,
                     serial_work=stats.serial_work,
                     parallel_work=stats.parallel_work,
+                    barrier_moved=stats.barrier_moved,
                 )
             )
         sweep += 1
@@ -304,6 +314,8 @@ def run_sbp(
         other=timers.elapsed("other"),
         merge_scan=timers.elapsed("merge_scan"),
         merge_apply=timers.elapsed("merge_apply"),
+        barrier_rebuild=timers.elapsed("barrier_rebuild"),
+        barrier_apply=timers.elapsed("barrier_apply"),
     )
     return SBPResult(
         variant=config.variant.value,

@@ -60,6 +60,12 @@ class SBPConfig:
         Candidate-scan backend for the block-merge phase (Alg. 1):
         'vectorized' (batch kernels) or 'serial' (the oracle loop).
         Both pick bit-identical merges; only wall-clock differs.
+    update_strategy:
+        Sweep-barrier update engine: 'incremental' (O(Σ deg(moved))
+        scatter delta-apply + serial-path proposal caching) or
+        'rebuild' (the O(E) full-recount oracle). Both leave the
+        blockmodel byte-equal after every sweep; only wall-clock
+        differs.
     seed:
         Master seed; every random draw in the run derives from it.
     record_work:
@@ -94,6 +100,7 @@ class SBPConfig:
     backend: str = "vectorized"
     backend_options: dict = field(default_factory=dict)
     merge_backend: str = "vectorized"
+    update_strategy: str = "incremental"
     seed: int = 0
     record_work: bool = False
     max_outer_iterations: int = 120
@@ -120,6 +127,11 @@ class SBPConfig:
             raise ValueError("time_budget must be >= 0 (or None)")
         if self.audit_cadence < 0:
             raise ValueError("audit_cadence must be >= 0")
+        if self.update_strategy not in ("rebuild", "incremental"):
+            raise ValueError(
+                "update_strategy must be 'rebuild' or 'incremental', "
+                f"got {self.update_strategy!r}"
+            )
 
     def replace(self, **changes) -> "SBPConfig":
         """Return a copy with the given fields changed."""

@@ -21,12 +21,20 @@ __all__ = ["SweepTrace", "trace_from_result", "run_health"]
 
 @dataclass(frozen=True)
 class SweepTrace:
-    """Per-sweep arrays extracted from a recorded run."""
+    """Per-sweep arrays extracted from a recorded run.
+
+    ``barrier_moved`` is the per-sweep moved-vertex count at the
+    synchronization barrier — the quantity the ``incremental`` update
+    engine's cost is proportional to. It decays with acceptance as the
+    chain settles, which is exactly why the delta barrier wins in late
+    sweeps (paper §3.1's argument for H-SBP's cheap convergence).
+    """
 
     delta_mdl: FloatArray
     acceptance_rate: FloatArray
     serial_work: FloatArray
     parallel_work: FloatArray
+    barrier_moved: FloatArray
 
     @property
     def num_sweeps(self) -> int:
@@ -68,6 +76,9 @@ class SweepTrace:
             "mean_acceptance": float(self.acceptance_rate.mean()) if self.num_sweeps else 0.0,
             "acceptance_decay": self.acceptance_decay(),
             "parallel_fraction": self.parallel_fraction,
+            "mean_barrier_moved": (
+                float(self.barrier_moved.mean()) if self.num_sweeps else 0.0
+            ),
         }
 
 
@@ -119,4 +130,5 @@ def trace_from_result(result: SBPResult) -> SweepTrace:
         ),
         serial_work=np.asarray([s.serial_work for s in stats], dtype=np.float64),
         parallel_work=np.asarray([s.parallel_work for s in stats], dtype=np.float64),
+        barrier_moved=np.asarray([s.barrier_moved for s in stats], dtype=np.float64),
     )

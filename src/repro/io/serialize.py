@@ -117,6 +117,10 @@ def save_result(result: SBPResult, path: str | os.PathLike[str]) -> None:
             "mcmc": result.timings.mcmc,
             "rebuild": result.timings.rebuild,
             "other": result.timings.other,
+            "merge_scan": result.timings.merge_scan,
+            "merge_apply": result.timings.merge_apply,
+            "barrier_rebuild": result.timings.barrier_rebuild,
+            "barrier_apply": result.timings.barrier_apply,
         },
         "mcmc_sweeps": result.mcmc_sweeps,
         "outer_iterations": result.outer_iterations,
@@ -147,6 +151,12 @@ def load_result(path: str | os.PathLike[str]) -> SBPResult:
                 mcmc=float(timings["mcmc"]),
                 rebuild=float(timings["rebuild"]),
                 other=float(timings["other"]),
+                # Sub-buckets were not serialized before this format grew
+                # them; absent keys read back as zero.
+                merge_scan=float(timings.get("merge_scan", 0.0)),
+                merge_apply=float(timings.get("merge_apply", 0.0)),
+                barrier_rebuild=float(timings.get("barrier_rebuild", 0.0)),
+                barrier_apply=float(timings.get("barrier_apply", 0.0)),
             ),
             mcmc_sweeps=int(payload["mcmc_sweeps"]),
             outer_iterations=int(payload["outer_iterations"]),

@@ -30,18 +30,29 @@ def async_gibbs_sweep(
     backend,
     record_work: bool = False,
     rebuild_timer=None,
+    updater=None,
 ) -> SweepStats:
     """Run one asynchronous-Gibbs pass over ``vertices``, mutating ``bm``.
 
     ``backend`` must provide
     ``evaluate_sweep(bm, graph, vertices, uniforms, beta) -> (accepted, targets)``
     where ``accepted`` is a boolean array and ``targets`` the proposed
-    block per vertex. The frozen-state semantics are guaranteed by the
-    caller passing an un-mutated ``bm`` to the backend and applying all
-    updates afterwards.
+    block per vertex. The frozen-state semantics hold because the
+    evaluation stage completes — against the un-mutated ``bm`` — before
+    any update touches the blockmodel; no defensive copy of the
+    assignment vector is needed for that guarantee, so none is taken on
+    the delta path (the legacy path's O(V) ``assignment.copy()`` existed
+    only to feed ``rebuild`` a whole new membership vector).
 
     ``rebuild_timer``, when given, accrues the per-sweep blockmodel
-    reconstruction cost (the A-SBP barrier the paper discusses in §3.1).
+    reconciliation cost (the A-SBP barrier the paper discusses in §3.1)
+    to the umbrella ``rebuild`` bucket, whichever engine pays it.
+
+    ``updater``, when given, is a
+    :class:`~repro.parallel.backend.SweepUpdater` that reconciles the
+    blockmodel with the moved set (``rebuild`` = O(E) recount,
+    ``incremental`` = O(Σ deg(moved)) delta-apply, bit-identical by
+    construction). ``None`` keeps the legacy copy-and-rebuild barrier.
     """
     if len(randomness) < len(vertices):
         raise ValueError(
@@ -50,14 +61,23 @@ def async_gibbs_sweep(
     uniforms = randomness.uniforms[: len(vertices)]
     accepted_mask, targets = backend.evaluate_sweep(bm, graph, vertices, uniforms, beta)
 
-    new_assignment = bm.assignment.copy()
-    moved = accepted_mask & (targets != new_assignment[vertices])
-    new_assignment[vertices[moved]] = targets[moved]
-    if rebuild_timer is not None:
-        with rebuild_timer.measure():
-            bm.rebuild(graph, new_assignment)
+    moved = accepted_mask & (targets != bm.assignment[vertices])
+    moved_vertices = vertices[moved]
+    moved_targets = targets[moved]
+    if updater is not None:
+        if rebuild_timer is not None:
+            with rebuild_timer.measure():
+                updater.apply_sweep(bm, graph, moved_vertices, moved_targets)
+        else:
+            updater.apply_sweep(bm, graph, moved_vertices, moved_targets)
     else:
-        bm.rebuild(graph, new_assignment)
+        new_assignment = bm.assignment.copy()
+        new_assignment[moved_vertices] = moved_targets
+        if rebuild_timer is not None:
+            with rebuild_timer.measure():
+                bm.rebuild(graph, new_assignment)
+        else:
+            bm.rebuild(graph, new_assignment)
 
     work = None
     unit = graph.degree[vertices].astype(np.int64) + 1
@@ -68,5 +88,6 @@ def async_gibbs_sweep(
         accepted=int(moved.sum()),
         serial_work=0.0,
         parallel_work=float(unit.sum()),
+        barrier_moved=int(moved.sum()),
         work_per_vertex=work,
     )

@@ -37,13 +37,16 @@ def batched_gibbs_sweep(
     num_batches: int,
     record_work: bool = False,
     rebuild_timer=None,
+    updater=None,
 ) -> SweepStats:
     """Run one batched asynchronous-Gibbs pass over ``vertices``.
 
     The randomness table is shared with the plain async sweep: row ``i``
     still belongs to the ``i``-th vertex of the sweep, so ``num_batches``
     only changes *when* state is refreshed, not which uniforms drive
-    which vertex.
+    which vertex. ``updater`` is forwarded to every per-batch barrier —
+    B-SBP pays ``num_batches`` barriers per sweep, so it benefits the
+    most from the ``incremental`` engine's O(Σ deg(moved)) cost.
     """
     if num_batches < 1:
         raise ValueError(f"num_batches must be >= 1, got {num_batches}")
@@ -65,10 +68,12 @@ def batched_gibbs_sweep(
             backend,
             record_work=record_work,
             rebuild_timer=rebuild_timer,
+            updater=updater,
         )
         total.proposals += stats.proposals
         total.accepted += stats.accepted
         total.parallel_work += stats.parallel_work
+        total.barrier_moved += stats.barrier_moved
         if record_work and stats.work_per_vertex is not None:
             work_parts.append(stats.work_per_vertex)
     if record_work and work_parts:

@@ -65,19 +65,23 @@ def hybrid_sweep(
     backend,
     record_work: bool = False,
     rebuild_timer=None,
+    updater=None,
 ) -> SweepStats:
     """Run one hybrid H-SBP sweep, mutating ``bm``.
 
     Returns combined statistics; ``serial_work`` covers the V* pass and
     ``parallel_work`` the V- pass, which is what the simulated thread
-    executor needs to model Amdahl behaviour (Fig. 7).
+    executor needs to model Amdahl behaviour (Fig. 7). ``updater`` feeds
+    both halves: the serial V* pass uses its proposal cache, the async
+    V- pass its barrier reconciliation.
     """
     serial_stats = metropolis_sweep(
-        bm, graph, vstar, randomness_serial, beta, record_work=record_work
+        bm, graph, vstar, randomness_serial, beta, record_work=record_work,
+        updater=updater,
     )
     async_stats = async_gibbs_sweep(
         bm, graph, vminus, randomness_async, beta, backend,
-        record_work=record_work, rebuild_timer=rebuild_timer,
+        record_work=record_work, rebuild_timer=rebuild_timer, updater=updater,
     )
     work = None
     if record_work:
@@ -87,5 +91,6 @@ def hybrid_sweep(
         accepted=serial_stats.accepted + async_stats.accepted,
         serial_work=serial_stats.serial_work,
         parallel_work=async_stats.parallel_work,
+        barrier_moved=async_stats.barrier_moved,
         work_per_vertex=work,
     )

@@ -26,12 +26,23 @@ def metropolis_sweep(
     randomness: SweepRandomness,
     beta: float,
     record_work: bool = False,
+    updater=None,
 ) -> SweepStats:
     """Run one serial MH pass over ``vertices``, mutating ``bm``.
 
     Returns sweep statistics; ``delta_mdl`` is left at 0 here (the phase
     driver tracks full MDL between sweeps, which also captures the model
     complexity terms).
+
+    ``updater``, when given, is a
+    :class:`~repro.parallel.backend.SweepUpdater` consulted for a
+    per-sweep :class:`~repro.sbm.incremental.ProposalCache` (the
+    ``incremental`` engine provides one, ``rebuild`` does not). The
+    cache memoizes the O(C) symmetrized proposal rows; every applied
+    move invalidates exactly the blocks whose row changed
+    (``{r, s} ∪ t_out ∪ t_in``), so decisions stay bit-identical to the
+    uncached scan. There is no barrier here — moves apply in place — so
+    ``updater.apply_sweep`` is never called.
     """
     if len(randomness) < len(vertices):
         raise ValueError(
@@ -42,9 +53,10 @@ def metropolis_sweep(
     uniforms = randomness.uniforms
     degree = graph.degree
     total_work = 0
+    cache = updater.make_proposal_cache(bm) if updater is not None else None
     for i, v in enumerate(vertices):
         v = int(v)
-        decision = evaluate_vertex(bm, graph, v, uniforms[i], beta)
+        decision = evaluate_vertex(bm, graph, v, uniforms[i], beta, cache=cache)
         unit = int(degree[v]) + 1
         total_work += unit
         if work is not None:
@@ -63,6 +75,8 @@ def metropolis_sweep(
                 ctx.deg_out,
                 ctx.deg_in,
             )
+            if cache is not None:
+                cache.invalidate_move(ctx.r, decision.target, ctx.t_out, ctx.t_in)
             accepted += 1
     return SweepStats(
         proposals=len(vertices),

@@ -3,14 +3,16 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable
-
-import numpy as np
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import BackendError
-from repro.graph.graph import Graph
-from repro.sbm.blockmodel import Blockmodel
-from repro.types import IntArray
+
+if TYPE_CHECKING:  # annotation-only; keeps this module import-cycle-free
+    import numpy as np
+
+    from repro.graph.graph import Graph
+    from repro.sbm.blockmodel import Blockmodel
+    from repro.types import IntArray
 
 __all__ = [
     "ExecutionBackend",
@@ -21,6 +23,10 @@ __all__ = [
     "register_merge_backend",
     "get_merge_backend",
     "available_merge_backends",
+    "SweepUpdater",
+    "register_update_strategy",
+    "get_update_strategy",
+    "available_update_strategies",
 ]
 
 
@@ -155,3 +161,67 @@ def available_merge_backends() -> list[str]:
     from repro.parallel import merge  # noqa: F401
 
     return sorted(_MERGE_REGISTRY)
+
+
+class SweepUpdater(ABC):
+    """Reconciles the blockmodel with a sweep's accepted moves.
+
+    The per-sweep synchronization barrier of A-SBP/B-SBP/H-SBP (paper
+    §3.1): after a frozen-state evaluation stage, the blockmodel must be
+    brought back in sync with the moved vertices. Implementations MUST
+    leave ``bm`` in exactly the state a full recount would produce —
+    counts are integers, so "exactly" means byte-equal ``B`` and degree
+    vectors, not approximately equal. The serial Metropolis path asks
+    the updater for an optional :class:`~repro.sbm.incremental.
+    ProposalCache` instead (no barrier — moves apply in place).
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def apply_sweep(
+        self,
+        bm: Blockmodel,
+        graph: Graph,
+        moved_vertices: IntArray,
+        moved_targets: IntArray,
+    ) -> None:
+        """Move ``moved_vertices[i]`` to ``moved_targets[i]``, all at once.
+
+        ``moved_vertices`` must be unique vertex ids whose proposed block
+        differs from their current one; the update covers ``B``, the
+        degree vectors and the assignment.
+        """
+
+    def make_proposal_cache(self, bm: Blockmodel):
+        """Per-sweep proposal-row cache for serial passes (None = uncached)."""
+        return None
+
+
+_UPDATE_REGISTRY: dict[str, Callable[..., SweepUpdater]] = {}
+
+
+def register_update_strategy(name: str, factory: Callable[..., SweepUpdater]) -> None:
+    """Register a sweep-update strategy factory under ``name``."""
+    if name in _UPDATE_REGISTRY:
+        raise BackendError(f"update strategy {name!r} already registered")
+    _UPDATE_REGISTRY[name] = factory
+
+
+def get_update_strategy(name: str, **kwargs) -> SweepUpdater:
+    """Instantiate an update strategy by name: 'rebuild' or 'incremental'."""
+    from repro.sbm import incremental  # noqa: F401  (registers built-ins)
+
+    factory = _UPDATE_REGISTRY.get(name)
+    if factory is None:
+        raise BackendError(
+            f"unknown update strategy {name!r}; "
+            f"available: {sorted(_UPDATE_REGISTRY)}"
+        )
+    return factory(**kwargs)
+
+
+def available_update_strategies() -> list[str]:
+    from repro.sbm import incremental  # noqa: F401
+
+    return sorted(_UPDATE_REGISTRY)

@@ -145,14 +145,19 @@ class VectorizedBackend(ExecutionBackend):
         assignment = bm.assignment
         B = bm.B
         deg = graph.degree[vertices]
+        # Floor-and-clamp draws, mirroring moves.py: identical for
+        # u ∈ [0, 1), in-range at the u == 1.0 boundary.
         uniform_block = (uniforms[:count, 3] * C).astype(np.int64)
+        np.minimum(uniform_block, C - 1, out=uniform_block)
         targets = uniform_block.copy()
 
         has_edges = deg > 0
         if not has_edges.any():
             return targets
         he = np.nonzero(has_edges)[0]
-        pick = graph.inc_ptr[vertices[he]] + (uniforms[he, 0] * deg[he]).astype(np.int64)
+        edge_pick = (uniforms[he, 0] * deg[he]).astype(np.int64)
+        np.minimum(edge_pick, deg[he] - 1, out=edge_pick)
+        pick = graph.inc_ptr[vertices[he]] + edge_pick
         nb = graph.inc_nbrs[pick]
         u = assignment[nb]
         exploit = uniforms[he, 1] >= C / (bm.d[u] + C)
@@ -177,7 +182,8 @@ class VectorizedBackend(ExecutionBackend):
             rows = he_sorted[lo:hi]
             if total <= 0:
                 continue  # keep the uniform fallback already in `targets`
-            draws = uniforms[rows, 2] * total
+            draws = (uniforms[rows, 2] * total).astype(np.int64)
+            np.minimum(draws, total - 1, out=draws)
             targets[rows] = np.searchsorted(cdf, draws, side="right")
         return targets
 

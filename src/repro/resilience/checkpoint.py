@@ -58,6 +58,11 @@ _MANIFEST_RE = re.compile(r"^state_(\d{5})\.json$")
 #: Backend choices are deliberately excluded: every execution/merge
 #: backend is bit-identical by construction, so a run checkpointed under
 #: ``--backend process`` may resume under ``--backend serial``.
+#: ``update_strategy`` IS included even though both engines are
+#: bit-identical too: the engines maintain state through different code
+#: paths (delta-apply vs recount), so a resume that silently switched
+#: engines would mask exactly the class of drift the equivalence tests
+#: exist to catch — a mismatch is rejected, not papered over.
 _DETERMINISM_FIELDS = (
     "variant",
     "seed",
@@ -69,6 +74,7 @@ _DETERMINISM_FIELDS = (
     "max_sweeps",
     "merge_proposals_per_block",
     "block_reduction_rate",
+    "update_strategy",
 )
 
 

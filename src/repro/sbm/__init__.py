@@ -17,6 +17,12 @@ from repro.sbm.delta import (
     merge_delta,
 )
 from repro.sbm.moves import propose_vertex_move, propose_block_merge, accept_probability
+from repro.sbm.incremental import (
+    ProposalCache,
+    RebuildUpdater,
+    IncrementalUpdater,
+    apply_sweep_delta,
+)
 
 __all__ = [
     "Blockmodel",
@@ -34,4 +40,8 @@ __all__ = [
     "propose_vertex_move",
     "propose_block_merge",
     "accept_probability",
+    "ProposalCache",
+    "RebuildUpdater",
+    "IncrementalUpdater",
+    "apply_sweep_delta",
 ]

@@ -162,6 +162,25 @@ class Blockmodel:
         self.d[s] += deg_out_v + deg_in_v
         self.assignment[v] = s
 
+    def apply_sweep_delta(
+        self,
+        graph: Graph,
+        moved_vertices: IntArray,
+        moved_targets: IntArray,
+    ) -> None:
+        """Batch move ``moved_vertices[i]`` to ``moved_targets[i]`` in place.
+
+        The O(Σ deg(moved)) alternative to :meth:`rebuild` at the A-SBP
+        sweep barrier: scatter-subtract the moved vertices' incident
+        edges under the old assignment, scatter-add under the new one.
+        Exactly equal to a full recount (int64 arithmetic); see
+        :func:`repro.sbm.incremental.apply_sweep_delta` for the edge
+        accounting.
+        """
+        from repro.sbm.incremental import apply_sweep_delta
+
+        apply_sweep_delta(self, graph, moved_vertices, moved_targets)
+
     def merge_blocks(self, r: int, s: int) -> None:
         """Merge block ``r`` into block ``s`` in place (Alg. 1 apply step).
 

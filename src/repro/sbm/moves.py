@@ -37,26 +37,41 @@ MAX_EXPONENT = 700.0
 
 
 def propose_vertex_move(
-    bm: Blockmodel, graph: Graph, v: int, uniforms: np.ndarray
+    bm: Blockmodel, graph: Graph, v: int, uniforms: np.ndarray, cache=None
 ) -> int:
     """Propose a block for vertex ``v``; may return its current block.
 
     ``uniforms`` is one row of a :class:`~repro.utils.rng.SweepRandomness`
     table (5 uniforms: edge pick, mixture, multinomial, uniform block,
     accept — the last is consumed by the caller).
+
+    ``cache``, when given, is a
+    :class:`~repro.sbm.incremental.ProposalCache` serving memoized
+    symmetrized-row CDFs; it must be kept in sync with ``bm`` by the
+    caller (dirty-set invalidation after every applied move). Cached CDFs
+    are the exact arrays the uncached path builds, so the proposal is
+    bit-identical either way.
+
+    All index draws are floor-and-clamp (``min(int(u * n), n - 1)``):
+    identical to the plain ``int(u * n)`` floor for ``u ∈ [0, 1)`` and
+    safe at the ``u == 1.0`` boundary where the unclamped form indexes
+    out of range.
     """
     C = bm.num_blocks
     degree = int(graph.degree[v])
     if degree == 0:
-        return int(uniforms[3] * C)
+        return min(int(uniforms[3] * C), C - 1)
     incident = graph.incident_neighbors(v)
-    neighbor = int(incident[int(uniforms[0] * degree)])
+    neighbor = int(incident[min(int(uniforms[0] * degree), degree - 1)])
     u = int(bm.assignment[neighbor])
     d_u = int(bm.d[u])
     if uniforms[1] < C / (d_u + C):
-        return int(uniforms[3] * C)
+        return min(int(uniforms[3] * C), C - 1)
+    fallback = min(int(uniforms[3] * C), C - 1)
+    if cache is not None:
+        return _cdf_draw(cache.row_cdf(u), uniforms[2], fallback=fallback)
     weights = bm.B[u, :] + bm.B[:, u]
-    return _inverse_cdf_draw(weights, uniforms[2], fallback=int(uniforms[3] * C))
+    return _inverse_cdf_draw(weights, uniforms[2], fallback=fallback)
 
 
 def propose_block_merge(bm: Blockmodel, r: int, uniforms: np.ndarray) -> int:
@@ -106,6 +121,7 @@ def propose_block_merges_batch(bm: Blockmodel, uniforms: np.ndarray) -> np.ndarr
     # Fallback draw, uniform over the C - 1 blocks != r (see _uniform_other).
     r_col = np.arange(C, dtype=np.int64)[:, None]
     fb = (u[:, :, 3] * (C - 1)).astype(np.int64)
+    np.minimum(fb, C - 2, out=fb)  # u == 1.0 boundary, mirrors _uniform_other
     fallback = fb + (fb >= r_col)
     targets = fallback.copy()
 
@@ -187,14 +203,27 @@ def accept_probability(delta_s: float, hastings: float, beta: float) -> float:
 
 def _inverse_cdf_draw(weights: np.ndarray, uniform: float, fallback: int) -> int:
     """Draw an index proportionally to non-negative integer ``weights``."""
-    cdf = np.cumsum(weights)
+    return _cdf_draw(np.cumsum(weights), uniform, fallback)
+
+
+def _cdf_draw(cdf: np.ndarray, uniform: float, fallback: int) -> int:
+    """Inverse-CDF draw against a precomputed integer prefix-sum.
+
+    The float draw ``uniform * total`` is floored and clamped to
+    ``total - 1`` before the searchsorted: for an integer CDF,
+    ``cdf[i] > x`` iff ``cdf[i] > floor(x)``, so flooring never changes
+    the drawn index for ``uniform ∈ [0, 1)``, and the clamp keeps the
+    ``uniform == 1.0`` boundary in range (the unclamped form returned
+    ``len(cdf)``). The batch merge kernel uses the same semantics.
+    """
     total = int(cdf[-1]) if cdf.size else 0
     if total <= 0:
         return fallback
-    return int(np.searchsorted(cdf, uniform * total, side="right"))
+    draw = min(int(uniform * total), total - 1)
+    return int(np.searchsorted(cdf, draw, side="right"))
 
 
 def _uniform_other(C: int, r: int, uniform: float) -> int:
     """Uniform draw over the C - 1 blocks different from ``r``."""
-    s = int(uniform * (C - 1))
+    s = min(int(uniform * (C - 1)), C - 2)
     return s + 1 if s >= r else s

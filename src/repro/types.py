@@ -42,6 +42,14 @@ class PhaseTimings:
     the embarrassingly parallel candidate scan — the part the merge
     backends accelerate — versus the sequential sort/union-find/rebuild
     tail of Alg. 1.
+
+    ``barrier_rebuild`` and ``barrier_apply`` are likewise sub-buckets
+    of ``rebuild``, splitting the per-sweep synchronization barrier by
+    update strategy: a full O(E) blockmodel recount (the ``rebuild``
+    engine) versus the O(Σ deg(moved)) scatter delta-apply (the
+    ``incremental`` engine). A run uses one engine, so at most one
+    bucket is non-zero — the Fig. 2 breakdown reads them to show where
+    the barrier time went.
     """
 
     block_merge: float = 0.0
@@ -50,6 +58,8 @@ class PhaseTimings:
     other: float = 0.0
     merge_scan: float = 0.0
     merge_apply: float = 0.0
+    barrier_rebuild: float = 0.0
+    barrier_apply: float = 0.0
 
     @property
     def total(self) -> float:
@@ -71,6 +81,8 @@ class PhaseTimings:
             other=self.other + other.other,
             merge_scan=self.merge_scan + other.merge_scan,
             merge_apply=self.merge_apply + other.merge_apply,
+            barrier_rebuild=self.barrier_rebuild + other.barrier_rebuild,
+            barrier_apply=self.barrier_apply + other.barrier_apply,
         )
 
 
@@ -91,6 +103,13 @@ class SweepStats:
         inherently serial portion of the sweep.
     parallel_work:
         Work units executed in the parallelizable portion of the sweep.
+    barrier_moved:
+        Number of vertices whose block changed at the sweep's
+        synchronization barrier (the moved set the update engine must
+        reconcile). Serial in-place passes apply moves immediately and
+        contribute 0; for async/batched/hybrid sweeps this is the size
+        of the delta the barrier pays for — the quantity the
+        ``incremental`` engine's cost is proportional to.
     work_per_vertex:
         Optional per-vertex work-unit vector for the parallel portion,
         consumed by the simulated thread executor (Fig. 7).
@@ -101,6 +120,7 @@ class SweepStats:
     delta_mdl: float = 0.0
     serial_work: float = 0.0
     parallel_work: float = 0.0
+    barrier_moved: int = 0
     work_per_vertex: IntArray | None = field(default=None, repr=False)
 
     @property

@@ -10,13 +10,14 @@ from repro.diagnostics import SweepTrace, trace_from_result
 from repro.types import SweepStats
 
 
-def _trace(deltas, accepts, serial=None, parallel=None):
+def _trace(deltas, accepts, serial=None, parallel=None, moved=None):
     n = len(deltas)
     return SweepTrace(
         delta_mdl=np.asarray(deltas, dtype=np.float64),
         acceptance_rate=np.asarray(accepts, dtype=np.float64),
         serial_work=np.asarray(serial if serial is not None else [0.0] * n),
         parallel_work=np.asarray(parallel if parallel is not None else [1.0] * n),
+        barrier_moved=np.asarray(moved if moved is not None else [0.0] * n),
     )
 
 
@@ -47,7 +48,7 @@ class TestSweepTrace:
         summary = trace.summary()
         assert set(summary) == {
             "sweeps", "total_improvement", "mean_acceptance",
-            "acceptance_decay", "parallel_fraction",
+            "acceptance_decay", "parallel_fraction", "mean_barrier_moved",
         }
 
 
