@@ -8,8 +8,8 @@ processing improves convergence robustness at the cost of MCMC time.
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.bench.reporting import format_table, write_report
 from repro.bench.experiments import hybrid_fraction_ablation_rows
+from repro.bench.reporting import format_table, write_report
 
 
 def test_hybrid_fraction_ablation(benchmark):

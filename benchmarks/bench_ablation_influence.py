@@ -13,8 +13,8 @@ Two of the paper's arguments made measurable:
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.bench.reporting import format_table, write_report
 from repro.bench.experiments import influence_ablation_rows
+from repro.bench.reporting import format_table, write_report
 
 
 def test_influence_ablation(benchmark):

@@ -9,9 +9,9 @@ phase and (block merge + other).
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
+from repro.bench.experiments import fig2_breakdown_rows
 from repro.bench.harness import current_scale
 from repro.bench.reporting import format_table, write_report
-from repro.bench.experiments import fig2_breakdown_rows
 
 
 def test_fig2_breakdown(benchmark):

@@ -9,9 +9,9 @@ same pooled runs.
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
+from repro.bench.experiments import fig3_correlations
 from repro.bench.harness import current_scale
 from repro.bench.reporting import format_table, write_report
-from repro.bench.experiments import fig3_correlations
 
 
 def test_fig3_correlation(benchmark):

@@ -8,9 +8,9 @@ A-SBP matches on only about half and fails to converge on the rest
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
+from repro.bench.experiments import fig4a_nmi_rows
 from repro.bench.harness import current_scale
 from repro.bench.reporting import format_grouped_bars, format_table, write_report
-from repro.bench.experiments import fig4a_nmi_rows
 
 
 def test_fig4a_nmi(benchmark):

@@ -11,9 +11,9 @@ Also reports the overall (Amdahl) speedups of §5.2.
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
+from repro.bench.experiments import fig4b_speedup_rows
 from repro.bench.harness import current_scale
 from repro.bench.reporting import format_table, write_report
-from repro.bench.experiments import fig4b_speedup_rows
 
 
 def test_fig4b_speedup(benchmark):

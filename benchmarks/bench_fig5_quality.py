@@ -8,9 +8,9 @@ for both algorithms).
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
+from repro.bench.experiments import fig5_quality_rows
 from repro.bench.harness import current_scale
 from repro.bench.reporting import format_grouped_bars, format_table, write_report
-from repro.bench.experiments import fig5_quality_rows
 
 
 def test_fig5_quality(benchmark):

@@ -9,9 +9,9 @@ exceptional iteration-count increase — is the one slowdown. Overall
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
+from repro.bench.experiments import fig6_speedup_rows
 from repro.bench.harness import current_scale
 from repro.bench.reporting import format_table, write_report
-from repro.bench.experiments import fig6_speedup_rows
 
 
 def test_fig6_realworld_speedup(benchmark):

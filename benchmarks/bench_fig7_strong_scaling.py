@@ -12,9 +12,9 @@ future work.
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
+from repro.bench.experiments import fig7_scaling_series
 from repro.bench.harness import current_scale
 from repro.bench.reporting import format_series, write_report
-from repro.bench.experiments import fig7_scaling_series
 
 THREADS = [1, 2, 4, 8, 16, 32, 64, 128]
 

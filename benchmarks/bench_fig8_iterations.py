@@ -9,9 +9,9 @@ on real-world graphs the gap between H-SBP and SBP is much smaller
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
+from repro.bench.experiments import fig8_iteration_rows
 from repro.bench.harness import current_scale
 from repro.bench.reporting import format_table, write_report
-from repro.bench.experiments import fig8_iteration_rows
 
 
 def test_fig8a_synthetic_iterations(benchmark):

@@ -9,8 +9,8 @@ preserved.
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.bench.reporting import format_table, write_report
 from repro.bench.experiments import table1_rows
+from repro.bench.reporting import format_table, write_report
 
 
 def test_table1_corpus(benchmark):

@@ -7,8 +7,8 @@ showing the preserved density (E/V, capped at 20) per graph.
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.bench.reporting import format_table, write_report
 from repro.bench.experiments import table2_rows
+from repro.bench.reporting import format_table, write_report
 
 
 def test_table2_realworld(benchmark):

@@ -16,8 +16,8 @@ from pathlib import Path
 import numpy as np
 
 from repro import (
-    DCSBMParams,
     SYNTHETIC_SPECS,
+    DCSBMParams,
     corpus_ids,
     generate_dcsbm,
     generate_real_world_standin,

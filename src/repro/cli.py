@@ -2,10 +2,11 @@
 
 Commands
 --------
-``detect``    run SBP/A-SBP/H-SBP/B-SBP on a graph file, write communities
+``detect``    run a registered variant on a graph file, write communities
 ``compare``   run several variants on one graph, print a comparison table
 ``generate``  write a corpus graph / custom DCSBM / real-world stand-in
 ``info``      print graph statistics
+``variants``  list every registered MCMC variant and its sweep plan
 
 Graph files are whitespace edge lists (``src dst`` per line, ``#``
 comments) or MatrixMarket ``.mtx``; format is chosen by extension.
@@ -16,13 +17,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from pathlib import Path
 
 import numpy as np
 
 from repro.bench.reporting import format_table
 from repro.core.sbp import run_best_of
-from repro.core.variants import SBPConfig, Variant
+from repro.core.variants import SBPConfig
 from repro.generators.corpus import SYNTHETIC_SPECS, generate_synthetic
 from repro.generators.dcsbm import DCSBMParams, generate_dcsbm
 from repro.generators.realworld import REAL_WORLD_SPECS, generate_real_world_standin
@@ -34,6 +34,7 @@ from repro.graph.io import (
     write_matrix_market,
 )
 from repro.graph.properties import summarize
+from repro.mcmc.engine import available_variants, build_plan, get_variant_spec
 from repro.metrics.modularity import directed_modularity
 from repro.metrics.nmi import normalized_mutual_information
 
@@ -66,12 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
     detect = sub.add_parser("detect", help="detect communities in a graph file")
     detect.add_argument("graph", help="edge-list (.txt) or MatrixMarket (.mtx) file")
     detect.add_argument("--variant", default="h-sbp",
-                        choices=[v.value for v in Variant])
+                        choices=available_variants())
     detect.add_argument("--runs", type=int, default=1,
                         help="best-of-N repetitions (paper uses 5)")
     detect.add_argument("--seed", type=int, default=0)
     detect.add_argument("--beta", type=float, default=3.0)
     detect.add_argument("--vstar-fraction", type=float, default=0.15)
+    detect.add_argument("--num-batches", type=int, default=4,
+                        help="frozen barriers per sweep for b-sbp and the "
+                             "tiered middle band")
+    detect.add_argument("--tier-split", type=float, default=0.5,
+                        help="degree-rank fraction ending the tiered plan's "
+                             "batched middle band (tiered variant only)")
     detect.add_argument("--backend", default="vectorized",
                         help="execution backend; 'resilient:<inner>' wraps "
                              "<inner> with timeout/retry/fallback handling")
@@ -130,6 +137,17 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="print graph statistics")
     info.add_argument("graph")
 
+    variants = sub.add_parser(
+        "variants", help="list registered MCMC variants and their sweep plans"
+    )
+    variants.add_argument("--list", action="store_true", dest="list_variants",
+                          help="print every registered VariantSpec with its "
+                               "plan segments (the default action)")
+    variants.add_argument("--vstar-fraction", type=float, default=0.15,
+                          help="fraction used when rendering h-sbp/tiered plans")
+    variants.add_argument("--num-batches", type=int, default=4)
+    variants.add_argument("--tier-split", type=float, default=0.5)
+
     return parser
 
 
@@ -140,6 +158,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         seed=args.seed,
         beta=args.beta,
         vstar_fraction=args.vstar_fraction,
+        num_batches=args.num_batches,
+        tier_split=args.tier_split,
         backend=args.backend,
         merge_backend=args.merge_backend,
         update_strategy=args.update_strategy,
@@ -256,6 +276,23 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_variants(args: argparse.Namespace) -> int:
+    for name in available_variants():
+        spec = get_variant_spec(name)
+        config = SBPConfig(
+            variant=name,
+            vstar_fraction=args.vstar_fraction,
+            num_batches=args.num_batches,
+            tier_split=args.tier_split,
+        )
+        plan = build_plan(config)
+        print(f"{name:8s} {spec.summary}")
+        for segment in plan.segments:
+            print(f"         - {segment.describe()}")
+        print(f"         barriers/sweep: {plan.barriers_per_sweep}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.verbose:
@@ -267,6 +304,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "generate": _cmd_generate,
         "info": _cmd_info,
+        "variants": _cmd_variants,
     }
     from repro.errors import ReproError
 

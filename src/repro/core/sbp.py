@@ -21,24 +21,14 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro.core.merge import block_merge_phase
 from repro.core.partition_search import GoldenSectionSearch
 from repro.core.results import SBPResult, best_of
-from repro.core.variants import SBPConfig, Variant
+from repro.core.variants import SBPConfig
 from repro.errors import CheckpointError
 from repro.graph.graph import Graph
-from repro.mcmc.async_gibbs import async_gibbs_sweep
-from repro.mcmc.batched import batched_gibbs_sweep
-from repro.mcmc.convergence import ConvergenceMonitor
-from repro.mcmc.hybrid import hybrid_sweep, split_vertices_by_degree
-from repro.mcmc.metropolis import metropolis_sweep
-from repro.parallel.backend import (
-    ExecutionBackend,
-    get_backend,
-    get_update_strategy,
-)
+from repro.mcmc.engine import SweepEngine, build_plan
+from repro.parallel.backend import ExecutionBackend, get_backend
 from repro.resilience.audit import InvariantAuditor
 from repro.resilience.checkpoint import RunCheckpoint, RunCheckpointer, config_digest
 from repro.resilience.interrupt import StopGuard
@@ -46,17 +36,12 @@ from repro.sbm.blockmodel import Blockmodel
 from repro.sbm.entropy import normalized_description_length
 from repro.types import PhaseTimings, SweepStats
 from repro.utils.log import get_logger
-from repro.utils.rng import SweepRandomness, spawn_seeds
+from repro.utils.rng import spawn_seeds
 from repro.utils.timer import StopwatchPool
 
 __all__ = ["run_sbp", "run_best_of", "run_mcmc_phase"]
 
 _log = get_logger("core.sbp")
-
-# RNG phase tags: each (outer iteration, kind) pair gets its own stream.
-_TAG_STRIDE = 4
-_KIND_SERIAL = 1
-_KIND_ASYNC = 2
 
 
 def run_mcmc_phase(
@@ -69,108 +54,16 @@ def run_mcmc_phase(
     timers: StopwatchPool,
     stop: StopGuard | None = None,
 ) -> list[SweepStats]:
-    """Run the variant-specific MCMC phase to convergence, mutating ``bm``.
+    """Run the variant's MCMC phase to convergence, mutating ``bm``.
 
-    Implements the shared loop of Algs. 2-4: sweep until the windowed
-    |dMDL| falls below ``threshold * MDL`` or ``config.max_sweeps`` is
-    reached. Wall-clock is accrued to the ``mcmc`` timer, with per-sweep
-    barrier time split out into ``rebuild`` (and, inside the update
-    engine, the ``barrier_rebuild``/``barrier_apply`` sub-bucket of the
-    engine actually used). When ``stop`` triggers (SIGINT / time budget)
-    the phase returns early between sweeps, leaving ``bm`` in the valid
-    post-sweep state.
+    Thin wrapper kept for API stability: builds the registered
+    :class:`~repro.mcmc.engine.SweepPlan` for ``config.variant`` and
+    hands the loop to the :class:`~repro.mcmc.engine.SweepEngine`, which
+    owns randomness derivation, barrier/timer accounting, stop-guard
+    polling and stats merging for *every* variant.
     """
-    monitor = ConvergenceMonitor(threshold, config.max_sweeps)
-    rebuild_timer = timers.timer("rebuild")
-    mcmc_timer = timers.timer("mcmc")
-    updater = get_update_strategy(config.update_strategy, timers=timers)
-
-    with mcmc_timer.measure():
-        monitor.start(bm.mdl(graph))
-
-    num_vertices = graph.num_vertices
-    all_vertices = np.arange(num_vertices, dtype=np.int64)
-    if config.variant is Variant.HSBP:
-        vstar, vminus = split_vertices_by_degree(graph, config.vstar_fraction)
-    else:
-        vstar = vminus = None
-
-    stats_log: list[SweepStats] = []
-    sweep = 0
-    while True:
-        if stop is not None and stop.triggered:
-            break
-        rebuild_before = rebuild_timer.elapsed
-        mcmc_timer.start()
-        if config.variant is Variant.SBP:
-            rand = SweepRandomness.draw(
-                config.seed, iteration * _TAG_STRIDE + _KIND_SERIAL, sweep, num_vertices
-            )
-            stats = metropolis_sweep(
-                bm, graph, all_vertices, rand, config.beta,
-                record_work=config.record_work, updater=updater,
-            )
-        elif config.variant is Variant.ASBP:
-            rand = SweepRandomness.draw(
-                config.seed, iteration * _TAG_STRIDE + _KIND_ASYNC, sweep, num_vertices
-            )
-            stats = async_gibbs_sweep(
-                bm, graph, all_vertices, rand, config.beta, backend,
-                record_work=config.record_work, rebuild_timer=rebuild_timer,
-                updater=updater,
-            )
-        elif config.variant is Variant.BSBP:
-            rand = SweepRandomness.draw(
-                config.seed, iteration * _TAG_STRIDE + _KIND_ASYNC, sweep, num_vertices
-            )
-            stats = batched_gibbs_sweep(
-                bm, graph, all_vertices, rand, config.beta, backend,
-                config.num_batches,
-                record_work=config.record_work, rebuild_timer=rebuild_timer,
-                updater=updater,
-            )
-        else:  # HSBP
-            assert vstar is not None and vminus is not None
-            rand_serial = SweepRandomness.draw(
-                config.seed, iteration * _TAG_STRIDE + _KIND_SERIAL, sweep, len(vstar)
-            )
-            rand_async = SweepRandomness.draw(
-                config.seed, iteration * _TAG_STRIDE + _KIND_ASYNC, sweep, len(vminus)
-            )
-            stats = hybrid_sweep(
-                bm, graph, vstar, vminus, rand_serial, rand_async,
-                config.beta, backend, record_work=config.record_work,
-                rebuild_timer=rebuild_timer, updater=updater,
-            )
-        mdl = bm.mdl(graph)
-        mcmc_timer.stop()
-        # Rebuild time was accrued inside the sweep (async variants call
-        # bm.rebuild under this timer via the sweep functions below); we
-        # keep it out of the 'mcmc' bucket by subtracting post-hoc.
-        rebuild_delta = rebuild_timer.elapsed - rebuild_before
-        if rebuild_delta > 0:
-            mcmc_timer.elapsed -= rebuild_delta
-
-        stats.delta_mdl = mdl - monitor.last_mdl
-        if config.record_work:
-            stats_log.append(stats)
-        else:
-            stats_log.append(
-                SweepStats(
-                    proposals=stats.proposals,
-                    accepted=stats.accepted,
-                    delta_mdl=stats.delta_mdl,
-                    serial_work=stats.serial_work,
-                    parallel_work=stats.parallel_work,
-                    barrier_moved=stats.barrier_moved,
-                )
-            )
-        sweep += 1
-        if monitor.update(mdl):
-            break
-    if config.validate:
-        bm.check_consistency(graph)
-    return stats_log
+    engine = SweepEngine(build_plan(config), config, backend, timers)
+    return engine.run_phase(bm, graph, iteration, threshold, stop=stop)
 
 
 def run_sbp(
@@ -217,7 +110,7 @@ def run_sbp(
             timers.add(name, seconds)
         _log.info(
             "resumed [%s] from %s at iteration %d (C=%d, mdl=%.2f)",
-            config.variant.value, checkpointer.directory, outer,
+            str(config.variant), checkpointer.directory, outer,
             bm.num_blocks, mdl,
         )
     else:
@@ -281,7 +174,7 @@ def run_sbp(
                 search_history.append((bm.num_blocks, mdl))
                 _log.info(
                     "iter %d [%s]: C=%d mdl=%.2f sweeps=%d (%s)",
-                    outer, config.variant.value, bm.num_blocks, mdl,
+                    outer, str(config.variant), bm.num_blocks, mdl,
                     len(phase_stats),
                     "golden" if search.bracket_established else "halving",
                 )
@@ -303,7 +196,7 @@ def run_sbp(
         "%s [%s]: C=%d mdl=%.2f after %d iterations / %d sweeps "
         "(merge %.2fs, mcmc %.2fs, rebuild %.2fs)",
         "interrupted" if interrupted else "done",
-        config.variant.value, best.num_blocks, best_mdl, outer, total_sweeps,
+        str(config.variant), best.num_blocks, best_mdl, outer, total_sweeps,
         timers.elapsed("block_merge"), timers.elapsed("mcmc"),
         timers.elapsed("rebuild"),
     )
@@ -318,7 +211,7 @@ def run_sbp(
         barrier_apply=timers.elapsed("barrier_apply"),
     )
     return SBPResult(
-        variant=config.variant.value,
+        variant=str(config.variant),
         assignment=best.assignment,
         num_blocks=best.num_blocks,
         mdl=best_mdl,

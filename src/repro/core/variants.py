@@ -13,7 +13,13 @@ __all__ = ["Variant", "SBPConfig"]
 
 
 class Variant(str, Enum):
-    """Which MCMC-phase algorithm to run."""
+    """The paper's named MCMC-phase algorithms.
+
+    The enum is a convenience for the four canonical variants; the source
+    of truth is the :mod:`repro.mcmc.engine` variant registry, which may
+    hold additional plan builders (e.g. ``tiered``). ``SBPConfig.variant``
+    therefore accepts any registered name, not just these members.
+    """
 
     SBP = "sbp"       #: serial Metropolis-Hastings (Alg. 2)
     ASBP = "a-sbp"    #: asynchronous Gibbs (Alg. 3)
@@ -41,7 +47,13 @@ class SBPConfig:
     vstar_fraction:
         Fraction of highest-degree vertices processed serially by H-SBP.
     num_batches:
-        Intra-sweep rebuild count for B-SBP (1 = plain A-SBP staleness).
+        Intra-sweep rebuild count for B-SBP (1 = plain A-SBP staleness);
+        also the barrier count of the ``tiered`` plan's middle band.
+    tier_split:
+        Degree-rank fraction where the ``tiered`` plan's frozen-batched
+        middle band ends and its fully parallel tail begins (clamped to
+        at least ``vstar_fraction``). Ignored by the four paper
+        variants.
     mcmc_threshold, mcmc_threshold_final:
         The paper's ``t``: relative MDL tolerance while searching /
         after the golden-section bracket is established.
@@ -88,10 +100,11 @@ class SBPConfig:
         assignment (and log) instead of raising immediately.
     """
 
-    variant: Variant = Variant.SBP
+    variant: Variant | str = Variant.SBP
     beta: float = 3.0
     vstar_fraction: float = 0.15
     num_batches: int = 4
+    tier_split: float = 0.5
     mcmc_threshold: float = 5e-4
     mcmc_threshold_final: float = 1e-4
     max_sweeps: int = 30
@@ -110,9 +123,19 @@ class SBPConfig:
     audit_self_heal: bool = True
 
     def __post_init__(self) -> None:
-        self.variant = Variant(self.variant)
+        try:
+            self.variant = Variant(self.variant)
+        except ValueError:
+            # Not one of the four canonical names: accept any variant the
+            # engine registry knows (plan-only variants like 'tiered').
+            # Imported lazily -- the engine depends on this module.
+            from repro.mcmc.engine import get_variant_spec
+
+            self.variant = get_variant_spec(str(self.variant)).name
         if not 0.0 <= self.vstar_fraction <= 1.0:
             raise ValueError("vstar_fraction must lie in [0, 1]")
+        if not 0.0 <= self.tier_split <= 1.0:
+            raise ValueError("tier_split must lie in [0, 1]")
         if not 0.0 < self.block_reduction_rate < 1.0:
             raise ValueError("block_reduction_rate must lie in (0, 1)")
         if self.max_sweeps < 1:

@@ -32,9 +32,10 @@ from repro.distributed.comm import CommSpec, SimCommWorld
 from repro.distributed.graphdist import DistributedGraph
 from repro.distributed.partition import partition_vertices
 from repro.graph.graph import Graph
+from repro.mcmc.async_gibbs import apply_frozen_barrier, frozen_moves
 from repro.parallel.backend import ExecutionBackend
 from repro.sbm.blockmodel import Blockmodel
-from repro.types import IntArray
+from repro.types import IntArray, SweepStats
 from repro.utils.rng import SweepRandomness
 
 __all__ = [
@@ -46,7 +47,13 @@ __all__ = [
 
 @dataclass
 class DistributedSweepReport:
-    """Cost accounting for one distributed sweep."""
+    """Cost accounting for one distributed sweep.
+
+    ``stats`` carries the same per-sweep bookkeeping the shared-memory
+    engine emits (scalar counters always; the O(V) per-vertex work
+    vector only under ``record_work``), so distributed sweeps feed the
+    simulated thread executor and diagnostics unchanged.
+    """
 
     num_ranks: int
     accepted_moves: int
@@ -54,6 +61,7 @@ class DistributedSweepReport:
     compute_seconds_max: float
     communication_bytes: int
     rebuild_seconds: float
+    stats: SweepStats | None = None
 
     def as_row(self) -> dict[str, object]:
         return {
@@ -74,13 +82,18 @@ def distributed_async_sweep(
     backend: ExecutionBackend,
     seconds_per_unit: float = 1e-6,
     rebuild_seconds: float = 0.0,
+    updater=None,
+    record_work: bool = False,
 ) -> DistributedSweepReport:
     """Run one distributed A-SBP sweep, mutating ``bm`` (the replica).
 
     ``randomness`` must cover all vertices *by global vertex id* (row v
     drives vertex v), so ownership does not alter the chain.
     ``seconds_per_unit`` and ``rebuild_seconds`` feed the virtual
-    clocks; they do not affect results.
+    clocks; they do not affect results. ``updater``, when given, is the
+    same :class:`~repro.parallel.backend.SweepUpdater` the shared-memory
+    engine uses for its barrier (``None`` keeps the legacy replica
+    copy-and-rebuild); every strategy leaves the replica byte-equal.
     """
     graph = dgraph.graph
     if len(randomness) < graph.num_vertices:
@@ -94,14 +107,21 @@ def distributed_async_sweep(
 
     contributions: list[np.ndarray] = []
     compute_max = 0.0
+    total_work = 0.0
+    work_parts: list[np.ndarray] = []
     for shard in dgraph.shards:
         owned = shard.owned
         uniforms = randomness.uniforms[owned]
         accepted, targets = backend.evaluate_sweep(bm, graph, owned, uniforms, beta)
-        moved = accepted & (targets != bm.assignment[owned])
-        moves = np.stack([owned[moved], targets[moved]], axis=1)
-        contributions.append(moves)
-        work = float((graph.degree[owned] + 1).sum()) * seconds_per_unit
+        moved_vertices, moved_targets = frozen_moves(bm, owned, accepted, targets)
+        contributions.append(
+            np.stack([moved_vertices, moved_targets], axis=1)
+        )
+        units = graph.degree[owned].astype(np.int64) + 1
+        if record_work:
+            work_parts.append(units)
+        work = float(units.sum()) * seconds_per_unit
+        total_work += float(units.sum())
         world.advance_compute(shard.rank, work)
         compute_max = max(compute_max, work)
 
@@ -110,13 +130,19 @@ def distributed_async_sweep(
         np.concatenate(gathered) if gathered else np.empty((0, 2), dtype=np.int64)
     )
 
-    new_assignment = bm.assignment.copy()
-    if all_moves.size:
-        new_assignment[all_moves[:, 0]] = all_moves[:, 1]
-    bm.rebuild(graph, new_assignment)
+    apply_frozen_barrier(
+        bm, graph, all_moves[:, 0], all_moves[:, 1], updater=updater
+    )
     for rank in range(world.num_ranks):
         world.advance_compute(rank, rebuild_seconds)
 
+    stats = SweepStats(
+        proposals=graph.num_vertices,
+        accepted=int(all_moves.shape[0]),
+        parallel_work=total_work,
+        barrier_moved=int(all_moves.shape[0]),
+        work_per_vertex=np.concatenate(work_parts) if work_parts else None,
+    )
     return DistributedSweepReport(
         num_ranks=world.num_ranks,
         accepted_moves=int(all_moves.shape[0]),
@@ -124,6 +150,7 @@ def distributed_async_sweep(
         compute_seconds_max=compute_max,
         communication_bytes=world.ledger.total_bytes,
         rebuild_seconds=rebuild_seconds,
+        stats=stats if record_work else stats.without_work(),
     )
 
 

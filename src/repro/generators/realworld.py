@@ -20,9 +20,8 @@ normalized MDL and modularity only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import zlib
+from dataclasses import dataclass
 
 from repro.errors import GeneratorError
 from repro.generators.dcsbm import DCSBMParams, generate_dcsbm

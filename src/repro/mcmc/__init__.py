@@ -1,24 +1,50 @@
-"""MCMC kernels: serial Metropolis-Hastings, asynchronous Gibbs, hybrid.
+"""MCMC kernels and the declarative sweep-plan engine.
 
-These implement the paper's Algorithms 2 (SBP), 3 (A-SBP) and 4 (H-SBP)
-MCMC phases. Parallel execution backends are injected (duck-typed) so
-this package never depends on :mod:`repro.parallel`.
+``metropolis_sweep`` and ``async_gibbs_sweep`` implement the two
+primitive segment modes (serial in-place vs frozen-parallel); the
+:mod:`~repro.mcmc.engine` composes them into the paper's Algorithms 2
+(SBP), 3 (A-SBP) and 4 (H-SBP) — plus batched and tiered schedules —
+as registered :class:`~repro.mcmc.engine.SweepPlan` builders. Parallel
+execution backends are injected (duck-typed).
 """
 
+from repro.mcmc.async_gibbs import async_gibbs_sweep
+from repro.mcmc.convergence import ConvergenceMonitor
+from repro.mcmc.engine import (
+    AllVertices,
+    DegreeBand,
+    DegreeTop,
+    SegmentMode,
+    SweepEngine,
+    SweepPlan,
+    SweepSegment,
+    VariantSpec,
+    available_variants,
+    build_plan,
+    get_variant_spec,
+    register_variant,
+    split_vertices_by_degree,
+)
 from repro.mcmc.evaluate import VertexDecision, evaluate_vertex
 from repro.mcmc.metropolis import metropolis_sweep
-from repro.mcmc.async_gibbs import async_gibbs_sweep
-from repro.mcmc.batched import batched_gibbs_sweep
-from repro.mcmc.hybrid import hybrid_sweep, split_vertices_by_degree
-from repro.mcmc.convergence import ConvergenceMonitor
 
 __all__ = [
     "VertexDecision",
     "evaluate_vertex",
     "metropolis_sweep",
     "async_gibbs_sweep",
-    "batched_gibbs_sweep",
-    "hybrid_sweep",
     "split_vertices_by_degree",
     "ConvergenceMonitor",
+    "SegmentMode",
+    "AllVertices",
+    "DegreeTop",
+    "DegreeBand",
+    "SweepSegment",
+    "SweepPlan",
+    "SweepEngine",
+    "VariantSpec",
+    "register_variant",
+    "get_variant_spec",
+    "available_variants",
+    "build_plan",
 ]

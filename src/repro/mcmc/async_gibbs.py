@@ -18,7 +18,57 @@ from repro.sbm.blockmodel import Blockmodel
 from repro.types import IntArray, SweepStats
 from repro.utils.rng import SweepRandomness
 
-__all__ = ["async_gibbs_sweep"]
+__all__ = ["async_gibbs_sweep", "apply_frozen_barrier", "frozen_moves"]
+
+
+def frozen_moves(
+    bm: Blockmodel,
+    vertices: IntArray,
+    accepted: np.ndarray,
+    targets: IntArray,
+) -> tuple[IntArray, IntArray]:
+    """Reduce frozen-state decisions to the moved set.
+
+    Filters the accepted proposals down to vertices whose block actually
+    changes — the delta the synchronization barrier must reconcile and
+    the quantity ``barrier_moved`` counts. Shared by the engine's frozen
+    segments and the distributed sweep (whose per-rank shards make the
+    same reduction before the allgather).
+    """
+    moved = accepted & (targets != bm.assignment[vertices])
+    return vertices[moved], targets[moved]
+
+
+def apply_frozen_barrier(
+    bm: Blockmodel,
+    graph: Graph,
+    moved_vertices: IntArray,
+    moved_targets: IntArray,
+    updater=None,
+    rebuild_timer=None,
+) -> None:
+    """Reconcile ``bm`` with a frozen pass's moved set (the §3.1 barrier).
+
+    ``updater``, when given, is a
+    :class:`~repro.parallel.backend.SweepUpdater` (``rebuild`` = O(E)
+    recount, ``incremental`` = O(Σ deg(moved)) delta-apply — both leave
+    the blockmodel byte-equal). ``None`` keeps the legacy copy-and-
+    rebuild barrier. ``rebuild_timer`` accrues the cost either way.
+    """
+    if updater is not None:
+        if rebuild_timer is not None:
+            with rebuild_timer.measure():
+                updater.apply_sweep(bm, graph, moved_vertices, moved_targets)
+        else:
+            updater.apply_sweep(bm, graph, moved_vertices, moved_targets)
+        return
+    new_assignment = bm.assignment.copy()
+    new_assignment[moved_vertices] = moved_targets
+    if rebuild_timer is not None:
+        with rebuild_timer.measure():
+            bm.rebuild(graph, new_assignment)
+    else:
+        bm.rebuild(graph, new_assignment)
 
 
 def async_gibbs_sweep(
@@ -61,23 +111,11 @@ def async_gibbs_sweep(
     uniforms = randomness.uniforms[: len(vertices)]
     accepted_mask, targets = backend.evaluate_sweep(bm, graph, vertices, uniforms, beta)
 
-    moved = accepted_mask & (targets != bm.assignment[vertices])
-    moved_vertices = vertices[moved]
-    moved_targets = targets[moved]
-    if updater is not None:
-        if rebuild_timer is not None:
-            with rebuild_timer.measure():
-                updater.apply_sweep(bm, graph, moved_vertices, moved_targets)
-        else:
-            updater.apply_sweep(bm, graph, moved_vertices, moved_targets)
-    else:
-        new_assignment = bm.assignment.copy()
-        new_assignment[moved_vertices] = moved_targets
-        if rebuild_timer is not None:
-            with rebuild_timer.measure():
-                bm.rebuild(graph, new_assignment)
-        else:
-            bm.rebuild(graph, new_assignment)
+    moved_vertices, moved_targets = frozen_moves(bm, vertices, accepted_mask, targets)
+    apply_frozen_barrier(
+        bm, graph, moved_vertices, moved_targets,
+        updater=updater, rebuild_timer=rebuild_timer,
+    )
 
     work = None
     unit = graph.degree[vertices].astype(np.int64) + 1
@@ -85,9 +123,9 @@ def async_gibbs_sweep(
         work = unit
     return SweepStats(
         proposals=int(len(vertices)),
-        accepted=int(moved.sum()),
+        accepted=int(len(moved_vertices)),
         serial_work=0.0,
         parallel_work=float(unit.sum()),
-        barrier_moved=int(moved.sum()),
+        barrier_moved=int(len(moved_vertices)),
         work_per_vertex=work,
     )

@@ -22,8 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.parallel.partitioner import chunk_loads
 from repro.types import SweepStats
 
@@ -38,10 +36,20 @@ def simulate_sweep_seconds(
     fork_join_seconds: float = 0.0,
     schedule: str = "static",
     rebuild_parallel_fraction: float = 0.0,
+    barriers: int = 1,
+    sync_seconds_per_barrier: float = 0.0,
 ) -> float:
-    """Modeled wall-clock of one sweep under ``threads`` workers."""
+    """Modeled wall-clock of one sweep under ``threads`` workers.
+
+    ``barriers`` × ``sync_seconds_per_barrier`` charges the per-sweep
+    synchronization cost of multi-barrier plans (B-SBP and tiered sweeps
+    pay one reconciliation per frozen batch); the defaults keep the
+    single-barrier behaviour and numbers unchanged.
+    """
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
+    if barriers < 0:
+        raise ValueError(f"barriers must be >= 0, got {barriers}")
     serial = stats.serial_work * seconds_per_unit
     if stats.work_per_vertex is not None and stats.work_per_vertex.size:
         loads = chunk_loads(stats.work_per_vertex, threads, schedule=schedule)
@@ -51,7 +59,8 @@ def simulate_sweep_seconds(
     rebuild = rebuild_seconds * (
         (1.0 - rebuild_parallel_fraction) + rebuild_parallel_fraction / threads
     )
-    return serial + parallel + rebuild + fork_join_seconds * threads
+    sync = barriers * sync_seconds_per_barrier
+    return serial + parallel + rebuild + sync + fork_join_seconds * threads
 
 
 @dataclass
@@ -71,6 +80,13 @@ class SimulatedThreadModel:
     schedule:
         ``'static'`` (OpenMP default; what the paper used) or
         ``'balanced'`` (the better-load-balancing future work of §5.5).
+    barriers_per_sweep:
+        Synchronization barriers one sweep pays — 1 for SBP/A-SBP/H-SBP,
+        ``num_batches`` for B-SBP, the plan's total for tiered schedules
+        (see :attr:`repro.mcmc.engine.SweepPlan.barriers_per_sweep`).
+    sync_seconds_per_barrier:
+        Fixed cost charged per barrier (thread rendezvous + reconcile
+        dispatch); 0 preserves the pre-plan model's numbers.
     """
 
     seconds_per_unit: float
@@ -78,6 +94,8 @@ class SimulatedThreadModel:
     fork_join_seconds: float = 1e-6
     schedule: str = "static"
     rebuild_parallel_fraction: float = 0.0
+    barriers_per_sweep: int = 1
+    sync_seconds_per_barrier: float = 0.0
     sweeps: list[SweepStats] = field(default_factory=list)
 
     def record(self, stats: SweepStats) -> None:
@@ -98,6 +116,8 @@ class SimulatedThreadModel:
                     fork_join_seconds=self.fork_join_seconds,
                     schedule=self.schedule,
                     rebuild_parallel_fraction=self.rebuild_parallel_fraction,
+                    barriers=self.barriers_per_sweep,
+                    sync_seconds_per_barrier=self.sync_seconds_per_barrier,
                 )
                 for s in self.sweeps
             )
@@ -132,3 +152,41 @@ class SimulatedThreadModel:
         )
         model.extend(sweeps)
         return model
+
+    @classmethod
+    def for_plan(
+        cls, plan, seconds_per_unit: float, **kwargs
+    ) -> "SimulatedThreadModel":
+        """Build a model whose barrier count comes from a sweep plan.
+
+        ``plan`` is a :class:`~repro.mcmc.engine.SweepPlan`; its
+        ``barriers_per_sweep`` (1 for SBP/A-SBP/H-SBP, ``num_batches``
+        for B-SBP, the segment total for tiered schedules) feeds the
+        per-sweep synchronization term, so modeled curves reflect the
+        schedule actually executed rather than a hard-coded single
+        barrier.
+        """
+        kwargs.setdefault("barriers_per_sweep", plan.barriers_per_sweep)
+        return cls(seconds_per_unit=seconds_per_unit, **kwargs)
+
+    def idealized(self) -> "SimulatedThreadModel":
+        """A copy modeling perfect load balance (paper §5.5 upper bound).
+
+        Drops the recorded per-vertex work vectors, so the parallel
+        portion of every sweep falls back to ``parallel_work / p`` —
+        work spread perfectly across threads with no static-chunk
+        imbalance. Comparing ``speedup_curve`` between a model and its
+        idealized copy isolates how much of the scaling taper is load
+        imbalance versus serial fraction and barrier costs.
+        """
+        clone = SimulatedThreadModel(
+            seconds_per_unit=self.seconds_per_unit,
+            rebuild_seconds_per_sweep=self.rebuild_seconds_per_sweep,
+            fork_join_seconds=self.fork_join_seconds,
+            schedule=self.schedule,
+            rebuild_parallel_fraction=self.rebuild_parallel_fraction,
+            barriers_per_sweep=self.barriers_per_sweep,
+            sync_seconds_per_barrier=self.sync_seconds_per_barrier,
+        )
+        clone.extend([s.without_work() for s in self.sweeps])
+        return clone

@@ -69,6 +69,7 @@ _DETERMINISM_FIELDS = (
     "beta",
     "vstar_fraction",
     "num_batches",
+    "tier_split",
     "mcmc_threshold",
     "mcmc_threshold_final",
     "max_sweeps",

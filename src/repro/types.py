@@ -128,3 +128,20 @@ class SweepStats:
         if self.proposals == 0:
             return 0.0
         return self.accepted / self.proposals
+
+    def without_work(self) -> "SweepStats":
+        """A copy with the per-vertex work vector dropped.
+
+        The scalar counters cost a few bytes per sweep and are always
+        kept; the O(V) ``work_per_vertex`` vector is only retained when
+        the caller opted into ``record_work`` (the simulated thread
+        executor needs it, long diagnostic logs do not).
+        """
+        return SweepStats(
+            proposals=self.proposals,
+            accepted=self.accepted,
+            delta_mdl=self.delta_mdl,
+            serial_work=self.serial_work,
+            parallel_work=self.parallel_work,
+            barrier_moved=self.barrier_moved,
+        )

@@ -1,0 +1,52 @@
+"""Capture the golden-trajectory fixture for the sweep-engine refactor.
+
+Run ONCE at the pre-refactor commit (the last commit where
+``run_mcmc_phase`` still dispatched through the hand-written
+``metropolis_sweep`` / ``async_gibbs_sweep`` / ``batched_gibbs_sweep`` /
+``hybrid_sweep`` chain)::
+
+    PYTHONPATH=src python tests/capture_golden.py
+
+The written ``tests/fixtures/golden_trajectories.npz`` is the refactor's
+contract: ``test_golden_trajectories.py`` replays the same probes on the
+live code and requires byte-equal assignments and identical MDL floats.
+Regenerating the fixture on post-refactor code would make the test
+vacuous — never rerun this script unless the *chain definition itself*
+is deliberately changed (and say so loudly in the PR).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import golden_utils as gu  # noqa: E402
+
+
+def main() -> int:
+    graph = gu.golden_graph()
+    payload: dict[str, np.ndarray] = {}
+    for variant, strategy, backend, seed in gu.matrix():
+        key = gu.combo_key(variant, strategy, backend, seed)
+        assignments, mdls = gu.trace_phase(graph, variant, strategy, backend, seed)
+        payload[f"phase/{key}/assignments"] = assignments
+        payload[f"phase/{key}/mdl"] = mdls
+        full = gu.run_full(graph, variant, strategy, backend, seed)
+        for name, array in full.items():
+            payload[f"full/{key}/{name}"] = array
+        print(f"captured {key}: phase sweeps={len(mdls) - 1} "
+              f"run sweeps={len(full['delta_mdl'])} "
+              f"final C={int(full['assignment'].max()) + 1}")
+    out = Path(__file__).resolve().parent / gu.FIXTURE_NAME
+    out.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(out, **payload)
+    print(f"wrote {out} ({out.stat().st_size} bytes, {len(payload)} arrays)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""Shared helpers for the golden-trajectory equivalence suite.
+
+The sweep-plan engine refactor (mcmc/engine.py) is only safe because the
+repo holds it to the established bar: **byte-equal trajectories** against
+the pre-refactor sweep dispatch. These helpers define the exact probe
+used both by ``capture_golden.py`` (run once, at the pre-refactor commit,
+to write ``tests/fixtures/golden_trajectories.npz``) and by
+``test_golden_trajectories.py`` (run forever after, to compare the live
+code against that fixture). Keeping the probe in one module guarantees
+capture and verification exercise the same code path.
+
+Two probe families:
+
+``trace_phase``
+    One MCMC phase from a fixed random blockmodel, recording the
+    assignment vector and full MDL after *every sweep* (run_mcmc_phase
+    computes the MDL exactly once per sweep, so wrapping
+    ``Blockmodel.mdl`` yields the per-sweep trajectory without touching
+    driver internals).
+
+``run_full``
+    One end-to-end ``run_sbp`` (agglomerative search included),
+    recording the final assignment, the (C, MDL) search history and the
+    per-sweep delta-MDL / acceptance sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Blockmodel, DCSBMParams, SBPConfig, generate_dcsbm
+from repro.core.sbp import run_mcmc_phase, run_sbp
+from repro.parallel.backend import get_backend
+from repro.utils.timer import StopwatchPool
+
+#: The pre-refactor equivalence matrix: every variant x update strategy
+#: x execution backend x seed must reproduce the fixture byte-for-byte.
+GOLDEN_VARIANTS = ("sbp", "a-sbp", "b-sbp", "h-sbp")
+GOLDEN_STRATEGIES = ("rebuild", "incremental")
+GOLDEN_BACKENDS = ("serial", "vectorized")
+GOLDEN_SEEDS = (3, 17)
+
+#: Phase-probe shape: sweeps per traced phase, the (arbitrary, non-zero)
+#: outer-iteration index — it exercises the per-iteration RNG tag stride
+#: — and the block count of the deliberately-wrong starting assignment.
+PHASE_SWEEPS = 6
+PHASE_ITERATION = 2
+START_BLOCKS = 12
+
+#: Non-default knobs pinned by the fixture so config plumbing drifts are
+#: caught too (B-SBP batch count; H-SBP V* fraction stays at the paper's
+#: default 0.15).
+NUM_BATCHES = 3
+
+FIXTURE_NAME = "fixtures/golden_trajectories.npz"
+
+
+def golden_graph():
+    """The small, deterministic DCSBM graph every probe runs on."""
+    graph, _ = generate_dcsbm(
+        DCSBMParams(
+            num_vertices=48,
+            num_communities=3,
+            within_between_ratio=8.0,
+            mean_degree=7.0,
+            d_max=14,
+        ),
+        seed=909,
+    )
+    return graph
+
+
+def start_assignment(graph) -> np.ndarray:
+    """Deterministic deliberately-wrong assignment for the phase probe."""
+    rng = np.random.default_rng(5)
+    return rng.integers(0, START_BLOCKS, graph.num_vertices)
+
+
+class TracingBlockmodel(Blockmodel):
+    """Blockmodel that snapshots (assignment, MDL) at every ``mdl()`` call.
+
+    The phase driver computes the full MDL exactly once before the first
+    sweep and once after every sweep, so the snapshots *are* the
+    per-sweep assignment trajectory and MDL sequence.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.trace_assignments: list[np.ndarray] = []
+        self.trace_mdl: list[float] = []
+
+    def mdl(self, graph) -> float:
+        value = super().mdl(graph)
+        self.trace_assignments.append(self.assignment.copy())
+        self.trace_mdl.append(value)
+        return value
+
+
+def make_config(variant: str, strategy: str, backend: str, seed: int,
+                **overrides) -> SBPConfig:
+    kwargs = dict(
+        variant=variant,
+        seed=seed,
+        update_strategy=strategy,
+        backend=backend,
+        num_batches=NUM_BATCHES,
+    )
+    kwargs.update(overrides)
+    return SBPConfig(**kwargs)
+
+
+def trace_phase(graph, variant: str, strategy: str, backend_name: str,
+                seed: int, **overrides) -> tuple[np.ndarray, np.ndarray]:
+    """Run one traced MCMC phase; return (assignments, mdls).
+
+    ``assignments`` has shape ``(PHASE_SWEEPS + 1, V)`` — the starting
+    state plus one row per sweep; ``mdls`` is the matching MDL sequence.
+    A zero threshold plus ``max_sweeps=PHASE_SWEEPS`` pins the sweep
+    count (the windowed mean |dMDL| is never strictly below 0).
+    """
+    config = make_config(variant, strategy, backend_name, seed,
+                         max_sweeps=PHASE_SWEEPS, **overrides)
+    bm = TracingBlockmodel.from_assignment(
+        graph, start_assignment(graph), START_BLOCKS
+    )
+    backend = get_backend(config.backend)
+    try:
+        run_mcmc_phase(
+            bm, graph, config, backend, PHASE_ITERATION, 0.0, StopwatchPool()
+        )
+    finally:
+        backend.close()
+    return np.stack(bm.trace_assignments), np.asarray(bm.trace_mdl)
+
+
+def run_full(graph, variant: str, strategy: str, backend_name: str,
+             seed: int, **overrides) -> dict[str, np.ndarray]:
+    """Run one end-to-end ``run_sbp``; return the trajectory summary."""
+    config = make_config(variant, strategy, backend_name, seed,
+                         record_work=True, **overrides)
+    result = run_sbp(graph, config)
+    return {
+        "assignment": np.asarray(result.assignment, dtype=np.int64),
+        "mdl": np.asarray([result.mdl], dtype=np.float64),
+        "history_blocks": np.asarray(
+            [c for c, _ in result.search_history], dtype=np.int64
+        ),
+        "history_mdl": np.asarray(
+            [m for _, m in result.search_history], dtype=np.float64
+        ),
+        "delta_mdl": np.asarray(
+            [s.delta_mdl for s in result.sweep_stats], dtype=np.float64
+        ),
+        "accepted": np.asarray(
+            [s.accepted for s in result.sweep_stats], dtype=np.int64
+        ),
+    }
+
+
+def matrix():
+    """Yield every (variant, strategy, backend, seed) fixture combo."""
+    for variant in GOLDEN_VARIANTS:
+        for strategy in GOLDEN_STRATEGIES:
+            for backend in GOLDEN_BACKENDS:
+                for seed in GOLDEN_SEEDS:
+                    yield variant, strategy, backend, seed
+
+
+def combo_key(variant: str, strategy: str, backend: str, seed: int) -> str:
+    return f"{variant}|{strategy}|{backend}|{seed}"

@@ -17,7 +17,7 @@ from repro import Blockmodel
 from repro.errors import BackendError
 from repro.parallel import processpool
 from repro.parallel.backend import available_backends, get_backend, register_backend
-from repro.parallel.processpool import ProcessPoolBackend, _WORKER_STATE
+from repro.parallel.processpool import _WORKER_STATE, ProcessPoolBackend
 from repro.parallel.serial import SerialBackend
 from repro.parallel.vectorized import VectorizedBackend
 from repro.utils.rng import SweepRandomness

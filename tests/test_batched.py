@@ -1,4 +1,9 @@
-"""Unit tests for the batched asynchronous-Gibbs variant (B-SBP)."""
+"""Unit tests for the batched asynchronous-Gibbs variant (B-SBP).
+
+B-SBP is now a registered sweep plan (one frozen segment split into
+``num_batches`` barriers) executed by the generic engine, so these tests
+drive :class:`repro.mcmc.engine.SweepEngine` directly.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +11,16 @@ import numpy as np
 import pytest
 
 from repro import Blockmodel, SBPConfig, Variant, run_sbp
-from repro.mcmc.batched import batched_gibbs_sweep
+from repro.mcmc.engine import (
+    AllVertices,
+    SegmentMode,
+    SweepEngine,
+    SweepPlan,
+    SweepSegment,
+    build_plan,
+)
 from repro.parallel.vectorized import VectorizedBackend
-from repro.utils.rng import SweepRandomness
+from repro.utils.timer import StopwatchPool
 
 
 @pytest.fixture
@@ -19,70 +31,68 @@ def state(medium_graph):
     return graph, Blockmodel.from_assignment(graph, assignment, 8)
 
 
+def _sweep(graph, bm, variant, seed, num_batches=4, plan=None, **overrides):
+    """Run one engine sweep of ``variant``'s plan, mutating ``bm``."""
+    config = SBPConfig(
+        variant=variant, seed=seed, num_batches=num_batches, **overrides
+    )
+    engine = SweepEngine(
+        plan or build_plan(config), config, VectorizedBackend(), StopwatchPool()
+    )
+    bound = engine.bind(graph)
+    return engine.run_sweep(bm, graph, bound, iteration=0, sweep=0)
+
+
 class TestBatchedSweep:
     def test_one_batch_equals_async(self, state):
         graph, bm = state
         other = bm.copy()
-        vertices = np.arange(graph.num_vertices, dtype=np.int64)
-        rand = SweepRandomness.draw(1, 2, 0, graph.num_vertices)
-
-        from repro.mcmc.async_gibbs import async_gibbs_sweep
-
-        async_gibbs_sweep(bm, graph, vertices, rand, 3.0, VectorizedBackend())
-        batched_gibbs_sweep(
-            other, graph, vertices, rand, 3.0, VectorizedBackend(), num_batches=1
-        )
+        _sweep(graph, bm, "a-sbp", seed=1)
+        _sweep(graph, other, "b-sbp", seed=1, num_batches=1)
         np.testing.assert_array_equal(bm.assignment, other.assignment)
         np.testing.assert_array_equal(bm.B, other.B)
 
     def test_more_batches_changes_trajectory(self, state):
         graph, bm = state
         other = bm.copy()
-        vertices = np.arange(graph.num_vertices, dtype=np.int64)
-        rand = SweepRandomness.draw(2, 2, 0, graph.num_vertices)
-        batched_gibbs_sweep(bm, graph, vertices, rand, 3.0, VectorizedBackend(), 1)
-        batched_gibbs_sweep(other, graph, vertices, rand, 3.0, VectorizedBackend(), 4)
+        _sweep(graph, bm, "b-sbp", seed=2, num_batches=1)
+        _sweep(graph, other, "b-sbp", seed=2, num_batches=4)
         # Fresher state mid-sweep leads to different decisions.
         assert not np.array_equal(bm.assignment, other.assignment)
 
     def test_consistency_after_sweep(self, state):
         graph, bm = state
-        vertices = np.arange(graph.num_vertices, dtype=np.int64)
-        rand = SweepRandomness.draw(3, 2, 0, graph.num_vertices)
-        stats = batched_gibbs_sweep(
-            bm, graph, vertices, rand, 3.0, VectorizedBackend(), 4
-        )
+        stats = _sweep(graph, bm, "b-sbp", seed=3, num_batches=4)
         bm.check_consistency(graph)
         assert stats.proposals == graph.num_vertices
 
     def test_work_recording_concatenates(self, state):
         graph, bm = state
-        vertices = np.arange(graph.num_vertices, dtype=np.int64)
-        rand = SweepRandomness.draw(4, 2, 0, graph.num_vertices)
-        stats = batched_gibbs_sweep(
-            bm, graph, vertices, rand, 3.0, VectorizedBackend(), 3, record_work=True
+        stats = _sweep(
+            graph, bm, "b-sbp", seed=4, num_batches=3, record_work=True
         )
         assert stats.work_per_vertex is not None
         assert stats.work_per_vertex.shape == (graph.num_vertices,)
         assert stats.work_per_vertex.sum() == stats.parallel_work
 
-    def test_bad_batches(self, state):
-        graph, bm = state
-        vertices = np.arange(graph.num_vertices, dtype=np.int64)
-        rand = SweepRandomness.draw(5, 2, 0, graph.num_vertices)
+    def test_bad_batches(self):
         with pytest.raises(ValueError):
-            batched_gibbs_sweep(
-                bm, graph, vertices, rand, 3.0, VectorizedBackend(), 0
-            )
+            SweepSegment(AllVertices(), SegmentMode.FROZEN_PARALLEL, batches=0)
 
     def test_more_batches_than_vertices(self, state):
         graph, bm = state
-        vertices = np.arange(10, dtype=np.int64)
-        rand = SweepRandomness.draw(6, 2, 0, 10)
-        stats = batched_gibbs_sweep(
-            bm, graph, vertices, rand, 3.0, VectorizedBackend(), 50
+        plan = SweepPlan(
+            (
+                SweepSegment(
+                    AllVertices(),
+                    SegmentMode.FROZEN_PARALLEL,
+                    batches=graph.num_vertices + 40,
+                ),
+            ),
+            name="overbatched",
         )
-        assert stats.proposals == 10
+        stats = _sweep(graph, bm, "b-sbp", seed=6, plan=plan)
+        assert stats.proposals == graph.num_vertices
         bm.check_consistency(graph)
 
 

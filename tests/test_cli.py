@@ -42,6 +42,30 @@ class TestParser:
                 ["generate", "--corpus", "S1", "--custom", "--output", "x.txt"]
             )
 
+    def test_detect_accepts_registered_variants(self):
+        from repro.mcmc.engine import available_variants
+
+        for name in available_variants():
+            args = build_parser().parse_args(["detect", "g.txt", "--variant", name])
+            assert args.variant == name
+
+    def test_unregistered_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "g.txt", "--variant", "nope"])
+
+
+class TestVariantsCommand:
+    def test_lists_every_registered_spec(self, capsys):
+        from repro.mcmc.engine import available_variants
+
+        assert main(["variants", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in available_variants():
+            assert name in out
+        # plan segments are printed, not just names
+        assert "serial[" in out and "frozen[" in out
+        assert "barriers/sweep" in out
+
 
 class TestGenerate:
     def test_corpus_graph(self, tmp_path, capsys):

@@ -7,7 +7,6 @@ import pytest
 
 from repro import SBPConfig, Variant, run_sbp
 from repro.diagnostics import SweepTrace, trace_from_result
-from repro.types import SweepStats
 
 
 def _trace(deltas, accepts, serial=None, parallel=None, moved=None):

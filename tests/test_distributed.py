@@ -195,6 +195,58 @@ class TestDistributedSweep:
         assert report.communication_bytes > 0
         bm.check_consistency(graph)
 
+    def test_incremental_updater_barrier_identical(self, medium_graph):
+        """The shared-memory barrier engine drops in for the replica."""
+        from repro.parallel.backend import get_update_strategy
+        from repro.utils.timer import StopwatchPool
+
+        graph, assignment = self._state(medium_graph)
+        rand = SweepRandomness.draw(7, 5, 0, graph.num_vertices)
+        owner = partition_vertices(graph, 3, "degree_balanced")
+
+        legacy = Blockmodel.from_assignment(graph, assignment, 7)
+        distributed_async_sweep(
+            legacy, DistributedGraph(graph, owner), SimCommWorld(3),
+            rand, 3.0, VectorizedBackend(),
+        )
+
+        bm = Blockmodel.from_assignment(graph, assignment, 7)
+        updater = get_update_strategy("incremental", timers=StopwatchPool())
+        distributed_async_sweep(
+            bm, DistributedGraph(graph, owner), SimCommWorld(3),
+            rand, 3.0, VectorizedBackend(), updater=updater,
+        )
+        np.testing.assert_array_equal(bm.assignment, legacy.assignment)
+        np.testing.assert_array_equal(bm.B, legacy.B)
+
+    def test_report_carries_sweep_stats(self, medium_graph):
+        graph, assignment = self._state(medium_graph)
+        bm = Blockmodel.from_assignment(graph, assignment, 7)
+        owner = partition_vertices(graph, 4, "degree_balanced")
+        rand = SweepRandomness.draw(9, 5, 0, graph.num_vertices)
+        report = distributed_async_sweep(
+            bm, DistributedGraph(graph, owner), SimCommWorld(4),
+            rand, 3.0, VectorizedBackend(), record_work=True,
+        )
+        stats = report.stats
+        assert stats is not None
+        assert stats.proposals == graph.num_vertices
+        assert stats.accepted == report.accepted_moves
+        assert stats.barrier_moved == report.accepted_moves
+        assert stats.work_per_vertex is not None
+        assert stats.work_per_vertex.shape == (graph.num_vertices,)
+        assert stats.work_per_vertex.sum() == stats.parallel_work
+
+        # without record_work the O(V) vector is stripped via without_work
+        bm2 = Blockmodel.from_assignment(graph, assignment, 7)
+        report2 = distributed_async_sweep(
+            bm2, DistributedGraph(graph, owner), SimCommWorld(4),
+            rand, 3.0, VectorizedBackend(),
+        )
+        assert report2.stats is not None
+        assert report2.stats.work_per_vertex is None
+        assert report2.stats.parallel_work == stats.parallel_work
+
     def test_rank_mismatch_rejected(self, medium_graph):
         graph, assignment = self._state(medium_graph)
         bm = Blockmodel.from_assignment(graph, assignment, 7)

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import (
-    Graph,
     read_edge_list,
     read_matrix_market,
     write_edge_list,

@@ -5,15 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import Blockmodel
+from repro import Blockmodel, SBPConfig
 from repro.mcmc.async_gibbs import async_gibbs_sweep
+from repro.mcmc.engine import SweepEngine, build_plan, split_vertices_by_degree
 from repro.mcmc.evaluate import evaluate_vertex
-from repro.mcmc.hybrid import hybrid_sweep, split_vertices_by_degree
 from repro.mcmc.metropolis import metropolis_sweep
 from repro.parallel.serial import SerialBackend
 from repro.parallel.vectorized import VectorizedBackend
 from repro.utils.rng import SweepRandomness
-from repro.utils.timer import Timer
+from repro.utils.timer import StopwatchPool, Timer
 
 
 @pytest.fixture
@@ -163,14 +163,18 @@ class TestSplitByDegree:
 
 
 class TestHybridSweep:
+    @staticmethod
+    def _engine(seed, backend, **overrides):
+        config = SBPConfig(variant="h-sbp", seed=seed, **overrides)
+        return SweepEngine(
+            build_plan(config), config, backend, StopwatchPool()
+        )
+
     def test_consistency_and_split_work(self, state):
         graph, bm = state
-        vstar, vminus = split_vertices_by_degree(graph, 0.15)
-        rs = SweepRandomness.draw(10, 1, 0, len(vstar))
-        ra = SweepRandomness.draw(10, 2, 0, len(vminus))
-        stats = hybrid_sweep(
-            bm, graph, vstar, vminus, rs, ra, 3.0, SerialBackend()
-        )
+        engine = self._engine(10, SerialBackend())
+        bound = engine.bind(graph)
+        stats = engine.run_sweep(bm, graph, bound, iteration=0, sweep=0)
         bm.check_consistency(graph)
         assert stats.serial_work > 0
         assert stats.parallel_work > 0
@@ -178,11 +182,9 @@ class TestHybridSweep:
 
     def test_reduces_mdl(self, state):
         graph, bm = state
-        vstar, vminus = split_vertices_by_degree(graph, 0.15)
-        backend = VectorizedBackend()
+        engine = self._engine(11, VectorizedBackend())
+        bound = engine.bind(graph)
         before = bm.mdl(graph)
         for sweep in range(3):
-            rs = SweepRandomness.draw(11, 1, sweep, len(vstar))
-            ra = SweepRandomness.draw(11, 2, sweep, len(vminus))
-            hybrid_sweep(bm, graph, vstar, vminus, rs, ra, 3.0, backend)
+            engine.run_sweep(bm, graph, bound, iteration=0, sweep=sweep)
         assert bm.mdl(graph) < before

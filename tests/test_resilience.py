@@ -14,7 +14,6 @@ The load-bearing properties:
 
 from __future__ import annotations
 
-import json
 import os
 import signal
 import threading

@@ -121,3 +121,66 @@ class TestSimulatedThreadModel:
         model.record(_sweep(parallel_work=100.0))
         model.extend([_sweep(parallel_work=200.0)])
         assert model.mcmc_seconds(1) == pytest.approx(0.3, rel=0.3)
+
+
+class TestPlanAwareModel:
+    def test_sync_term_charges_per_barrier(self):
+        stats = _sweep(parallel_work=1000.0)
+        base = simulate_sweep_seconds(stats, 4, seconds_per_unit=1e-3)
+        batched = simulate_sweep_seconds(
+            stats, 4, seconds_per_unit=1e-3,
+            barriers=5, sync_seconds_per_barrier=0.01,
+        )
+        assert batched == pytest.approx(base + 0.05)
+
+    def test_defaults_preserve_legacy_numbers(self):
+        stats = _sweep(parallel_work=1000.0, serial_work=100.0)
+        legacy = simulate_sweep_seconds(
+            stats, 8, seconds_per_unit=1e-3, rebuild_seconds=0.02,
+        )
+        explicit = simulate_sweep_seconds(
+            stats, 8, seconds_per_unit=1e-3, rebuild_seconds=0.02,
+            barriers=1, sync_seconds_per_barrier=0.0,
+        )
+        assert legacy == explicit
+
+    def test_for_plan_uses_plan_barriers(self):
+        from repro import SBPConfig
+        from repro.mcmc.engine import build_plan
+
+        plan = build_plan(SBPConfig(variant="b-sbp", num_batches=6))
+        model = SimulatedThreadModel.for_plan(
+            plan, seconds_per_unit=1e-3, sync_seconds_per_barrier=0.01,
+        )
+        assert model.barriers_per_sweep == 6
+        model.record(_sweep(parallel_work=1000.0))
+        flat = SimulatedThreadModel(
+            seconds_per_unit=1e-3, sync_seconds_per_barrier=0.01,
+        )
+        flat.record(_sweep(parallel_work=1000.0))
+        assert model.mcmc_seconds(4) == pytest.approx(
+            flat.mcmc_seconds(4) + 5 * 0.01
+        )
+
+    def test_bad_barriers_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_sweep_seconds(
+                _sweep(), 2, seconds_per_unit=1e-3, barriers=-1
+            )
+
+    def test_idealized_removes_load_imbalance(self):
+        rng = np.random.default_rng(4)
+        work = rng.integers(1, 200, size=512).astype(np.int64)
+        stats = SweepStats(
+            proposals=512, accepted=100,
+            parallel_work=float(work.sum()), work_per_vertex=work,
+        )
+        model = SimulatedThreadModel(seconds_per_unit=1e-4, schedule="static")
+        model.record(stats)
+        ideal = model.idealized()
+        # perfect balance is a lower bound on the static-chunk makespan
+        assert ideal.mcmc_seconds(16) < model.mcmc_seconds(16)
+        assert ideal.mcmc_seconds(1) == pytest.approx(model.mcmc_seconds(1))
+        # the original keeps its recorded vectors
+        assert model.sweeps[0].work_per_vertex is not None
+        assert ideal.sweeps[0].work_per_vertex is None
