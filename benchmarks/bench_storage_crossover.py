@@ -1,0 +1,184 @@
+"""Storage crossover: dense vs sparse block-matrix engines across C.
+
+The agglomerative schedule starts with many blocks (B very sparse: at
+C = O(V) only ~E of the C^2 cells are occupied) and ends with few (B
+effectively dense). The two ``--block-storage`` engines trade costs
+along that path; this bench measures, at E = 8C planted edges per size:
+
+* **rebuild** — ``from_edges`` (the per-sweep barrier reconstruction),
+* **sweep**   — a barrier ``scatter_edges`` burst plus a proposal-read
+  mix (``sym_row_cdf`` + ``row_gather``), the hot per-sweep ops,
+* **merge scan** — ``merge_delta_batch`` over every block (the
+  nonzero-triplet walk the vectorized merge backend runs),
+* **memory** — live ``memory_bytes()`` of each engine,
+
+and asserts both engines stay cell-for-cell equal per size. The
+crossover C where sparse starts winning each column is recorded in
+``BENCH_storage_crossover.json`` and discussed in DESIGN.md §5.
+
+Run ``python benchmarks/bench_storage_crossover.py`` (full: C up to
+8192) or ``--quick`` (CI smoke: C up to 1024, fewer repetitions).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from functools import partial
+
+import numpy as np
+
+from repro.bench.reporting import format_table, write_report
+from repro.graph.graph import Graph
+from repro.sbm.block_storage import DenseBlockState, SparseBlockState
+from repro.sbm.blockmodel import Blockmodel
+from repro.sbm.delta import merge_delta_batch
+
+FULL_SIZES = [64, 256, 1024, 4096, 8192]
+QUICK_SIZES = [64, 256, 1024]
+SEED = 41
+EDGES_PER_BLOCK = 8
+#: sweep probe: fraction of edges rescattered + proposal reads per burst
+MOVED_EDGE_FRACTION = 0.02
+PROPOSAL_READS = 200
+
+
+def _edges(C: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Planted block edges: mostly diagonal-heavy, like a real chain state."""
+    E = EDGES_PER_BLOCK * C
+    src = rng.integers(0, C, E)
+    # ~60% of edges stay within the source block, the rest go anywhere —
+    # the diagonal-dominant shape real partitions settle into.
+    within = rng.random(E) < 0.6
+    dst = np.where(within, src, rng.integers(0, C, E))
+    return src.astype(np.int64), dst.astype(np.int64)
+
+
+def _time(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _sweep_burst(state, src, dst, rng) -> None:
+    """One barrier scatter + a proposal-read mix on ``state``."""
+    m = max(1, int(MOVED_EDGE_FRACTION * len(src)))
+    # unique edge indices: removing one edge twice would (correctly) trip
+    # the sparse engine's negative-count check
+    pick = rng.permutation(len(src))[:m]
+    C = state.num_blocks
+    new_dst = rng.integers(0, C, m).astype(np.int64)
+    state.scatter_edges(src[pick], dst[pick], src[pick], new_dst)
+    state.scatter_edges(src[pick], new_dst, src[pick], dst[pick])  # undo
+    reads = rng.integers(0, C, PROPOSAL_READS).astype(np.int64)
+    for u in reads[:50]:
+        state.sym_row_cdf(int(u))
+    state.row_gather(int(reads[0]), reads)
+    state.col_gather(int(reads[0]), reads)
+
+
+def _merge_scan_bm(C: int, src, dst, storage: str) -> Blockmodel:
+    """A Blockmodel over a vertex-per-block graph for the scan probe."""
+    graph = Graph(C, np.stack([src, dst], axis=1))
+    assignment = np.arange(C, dtype=np.int64)
+    return Blockmodel.from_assignment(graph, assignment, C, storage=storage)
+
+
+def crossover_rows(sizes: list[int], reps: int) -> list[dict]:
+    rows = []
+    for C in sizes:
+        rng = np.random.default_rng(SEED)
+        src, dst = _edges(C, rng)
+        row: dict[str, object] = {"C": C, "E": len(src)}
+
+        dense = DenseBlockState.from_edges(src, dst, C)
+        sparse = SparseBlockState.from_edges(src, dst, C)
+        assert sparse.equals_dense(dense.to_dense()), f"engines diverge at C={C}"
+        row["density"] = round(dense.density, 4)
+        row["dense_bytes"] = dense.memory_bytes()
+        row["sparse_bytes"] = sparse.memory_bytes()
+
+        row["dense_rebuild_s"] = _time(
+            partial(DenseBlockState.from_edges, src, dst, C), reps
+        )
+        row["sparse_rebuild_s"] = _time(
+            partial(SparseBlockState.from_edges, src, dst, C), reps
+        )
+
+        sweep_rng = np.random.default_rng(SEED + 1)
+        row["dense_sweep_s"] = _time(
+            partial(_sweep_burst, dense, src, dst, sweep_rng), reps
+        )
+        sweep_rng = np.random.default_rng(SEED + 1)
+        row["sparse_sweep_s"] = _time(
+            partial(_sweep_burst, sparse, src, dst, sweep_rng), reps
+        )
+        assert sparse.equals_dense(dense.to_dense()), f"sweep diverged at C={C}"
+
+        blocks = np.arange(C, dtype=np.int64)
+        targets = np.roll(blocks, 1)
+        bm_dense = _merge_scan_bm(C, src, dst, "dense")
+        bm_sparse = _merge_scan_bm(C, src, dst, "sparse")
+        row["dense_scan_s"] = _time(
+            partial(merge_delta_batch, bm_dense, blocks, targets), reps
+        )
+        row["sparse_scan_s"] = _time(
+            partial(merge_delta_batch, bm_sparse, blocks, targets), reps
+        )
+        scan_d = merge_delta_batch(bm_dense, blocks, targets)
+        scan_s = merge_delta_batch(bm_sparse, blocks, targets)
+        assert np.array_equal(scan_d, scan_s), f"scan deltas diverge at C={C}"
+        rows.append(row)
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    table = [
+        {
+            "C": r["C"],
+            "density": r["density"],
+            "dense_MiB": round(r["dense_bytes"] / 2**20, 2),
+            "sparse_MiB": round(r["sparse_bytes"] / 2**20, 2),
+            "rebuild_dense_ms": round(r["dense_rebuild_s"] * 1e3, 2),
+            "rebuild_sparse_ms": round(r["sparse_rebuild_s"] * 1e3, 2),
+            "sweep_dense_ms": round(r["dense_sweep_s"] * 1e3, 2),
+            "sweep_sparse_ms": round(r["sparse_sweep_s"] * 1e3, 2),
+            "scan_dense_ms": round(r["dense_scan_s"] * 1e3, 2),
+            "scan_sparse_ms": round(r["sparse_scan_s"] * 1e3, 2),
+        }
+        for r in rows
+    ]
+    return format_table(
+        table, title="dense vs sparse block storage across C (E = 8C)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: C up to 1024, single repetition",
+    )
+    args = parser.parse_args(argv)
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    reps = 1 if args.quick else 3
+    rows = crossover_rows(sizes, reps)
+    write_report("storage_crossover", render(rows))
+    print(json.dumps(rows, indent=2))
+    # The headline claim the checked-in JSON records: at the largest C
+    # the matrix is sparse enough that the sparse engine wins on memory.
+    largest = rows[-1]
+    assert largest["sparse_bytes"] < largest["dense_bytes"], (
+        f"sparse engine lost on memory at C={largest['C']}: "
+        f"{largest['sparse_bytes']} >= {largest['dense_bytes']} bytes"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,7 +6,8 @@ Commands
 ``compare``   run several variants on one graph, print a comparison table
 ``generate``  write a corpus graph / custom DCSBM / real-world stand-in
 ``info``      print graph statistics
-``variants``  list every registered MCMC variant and its sweep plan
+``registry``  list every pluggable-engine registry and its entries
+``variants``  deprecated alias for the variants section of ``registry``
 
 Graph files are whitespace edge lists (``src dst`` per line, ``#``
 comments) or MatrixMarket ``.mtx``; format is chosen by extension.
@@ -37,6 +38,7 @@ from repro.graph.properties import summarize
 from repro.mcmc.engine import available_variants, build_plan, get_variant_spec
 from repro.metrics.modularity import directed_modularity
 from repro.metrics.nmi import normalized_mutual_information
+from repro.sbm.block_storage import available_block_storages, get_block_storage
 
 __all__ = ["main", "build_parser"]
 
@@ -89,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["rebuild", "incremental"],
                         help="sweep-barrier engine: O(E) full recount or "
                              "O(deg(moved)) delta-apply (bit-identical results)")
+    detect.add_argument("--block-storage", default="dense",
+                        choices=available_block_storages(),
+                        help="inter-block matrix engine: dense C x C arrays "
+                             "or per-row sparse arrays (bit-identical "
+                             "results; memory/time trade-off)")
     detect.add_argument("--time-budget", type=float, default=None,
                         metavar="SECONDS",
                         help="wall-clock budget for the whole detect; past it "
@@ -138,7 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("graph")
 
     variants = sub.add_parser(
-        "variants", help="list registered MCMC variants and their sweep plans"
+        "variants", help="deprecated: use 'repro registry --list'"
     )
     variants.add_argument("--list", action="store_true", dest="list_variants",
                           help="print every registered VariantSpec with its "
@@ -147,6 +154,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fraction used when rendering h-sbp/tiered plans")
     variants.add_argument("--num-batches", type=int, default=4)
     variants.add_argument("--tier-split", type=float, default=0.5)
+
+    registry = sub.add_parser(
+        "registry",
+        help="list every pluggable-engine registry (variants, execution "
+             "backends, merge backends, update strategies, block storages)",
+    )
+    registry.add_argument("--list", action="store_true", dest="list_all",
+                          help="print every registry section "
+                               "(the default action)")
+    registry.add_argument("--vstar-fraction", type=float, default=0.15,
+                          help="fraction used when rendering h-sbp/tiered plans")
+    registry.add_argument("--num-batches", type=int, default=4)
+    registry.add_argument("--tier-split", type=float, default=0.5)
 
     return parser
 
@@ -163,6 +183,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         backend=args.backend,
         merge_backend=args.merge_backend,
         update_strategy=args.update_strategy,
+        block_storage=args.block_storage,
         time_budget=args.time_budget,
         audit_cadence=args.audit_every,
     )
@@ -276,7 +297,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_variants(args: argparse.Namespace) -> int:
+def _print_variants(args: argparse.Namespace) -> None:
     for name in available_variants():
         spec = get_variant_spec(name)
         config = SBPConfig(
@@ -290,6 +311,64 @@ def _cmd_variants(args: argparse.Namespace) -> int:
         for segment in plan.segments:
             print(f"         - {segment.describe()}")
         print(f"         barriers/sweep: {plan.barriers_per_sweep}")
+
+
+def _cmd_variants(args: argparse.Namespace) -> int:
+    print(
+        "note: 'repro variants' is deprecated; use 'repro registry --list' "
+        "to see every engine registry (this section included)",
+        file=sys.stderr,
+    )
+    _print_variants(args)
+    return 0
+
+
+def _first_doc_line(obj: object) -> str:
+    """First non-empty docstring line — each registry's entry description."""
+    for line in (getattr(obj, "__doc__", None) or "").splitlines():
+        if line.strip():
+            return line.strip()
+    return ""
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    from repro.parallel.backend import (
+        backend_registry,
+        merge_backend_registry,
+        update_strategy_registry,
+    )
+
+    # Every pluggable-engine registry, walked the same way: a section
+    # title plus name -> one-line description. Variants additionally
+    # render their sweep plans (the old ``variants`` command, folded in).
+    sections: list[tuple[str, dict[str, str]]] = [
+        (
+            "execution backends (--backend; 'resilient:<inner>' composes)",
+            {n: _first_doc_line(f) for n, f in sorted(backend_registry().items())},
+        ),
+        (
+            "merge backends (--merge-backend)",
+            {n: _first_doc_line(f) for n, f in sorted(merge_backend_registry().items())},
+        ),
+        (
+            "update strategies (--update-strategy)",
+            {n: _first_doc_line(f) for n, f in sorted(update_strategy_registry().items())},
+        ),
+        (
+            "block storages (--block-storage)",
+            {
+                n: _first_doc_line(get_block_storage(n))
+                for n in available_block_storages()
+            },
+        ),
+    ]
+    print(f"variants (--variant): {len(available_variants())} registered")
+    _print_variants(args)
+    for title, entries in sections:
+        print(f"\n{title}: {len(entries)} registered")
+        width = max((len(n) for n in entries), default=0)
+        for name, desc in entries.items():
+            print(f"{name:{max(width, 8)}s} {desc}")
     return 0
 
 
@@ -305,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "variants": _cmd_variants,
+        "registry": _cmd_registry,
     }
     from repro.errors import ReproError
 

@@ -90,5 +90,7 @@ def block_merge_phase(
         merged_assignment = roots[bm.assignment]
         # Relabel densely; from_assignment rebuilds B in one vectorized pass.
         _, dense = np.unique(merged_assignment, return_inverse=True)
-        out = Blockmodel.from_assignment(graph, dense.astype(np.int64))
+        out = Blockmodel.from_assignment(
+            graph, dense.astype(np.int64), storage=type(bm.state)
+        )
     return out

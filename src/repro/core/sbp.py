@@ -36,6 +36,7 @@ from repro.sbm.blockmodel import Blockmodel
 from repro.sbm.entropy import normalized_description_length
 from repro.types import PhaseTimings, SweepStats
 from repro.utils.log import get_logger
+from repro.utils.memory import peak_rss_bytes
 from repro.utils.rng import spawn_seeds
 from repro.utils.timer import StopwatchPool
 
@@ -115,7 +116,7 @@ def run_sbp(
         )
     else:
         with timers.section("other"):
-            bm = Blockmodel.singleton(graph)
+            bm = Blockmodel.singleton(graph, storage=config.block_storage)
             mdl = bm.mdl(graph)
         outer = 0
         total_sweeps = 0
@@ -209,6 +210,9 @@ def run_sbp(
         merge_apply=timers.elapsed("merge_apply"),
         barrier_rebuild=timers.elapsed("barrier_rebuild"),
         barrier_apply=timers.elapsed("barrier_apply"),
+        peak_rss_bytes=peak_rss_bytes(),
+        b_nnz=best.state.nnz,
+        b_density=best.state.density,
     )
     return SBPResult(
         variant=str(config.variant),
@@ -294,7 +298,8 @@ def run_best_of(
         if checkpointer is None:
             results.append(run_sbp(graph, run_config))
             continue
-        prior = checkpointer.load_completed(index)
+        member_digest = config_digest(run_config)
+        prior = checkpointer.load_completed(index, digest=member_digest)
         if prior is not None:
             results.append(prior)
             continue
@@ -304,5 +309,5 @@ def run_best_of(
         results.append(result)
         if result.interrupted:
             break  # don't mark completed; a resume reruns this member
-        checkpointer.save_completed(index, result)
+        checkpointer.save_completed(index, result, digest=member_digest)
     return best_of(results), results

@@ -78,6 +78,12 @@ class SBPConfig:
         'rebuild' (the O(E) full-recount oracle). Both leave the
         blockmodel byte-equal after every sweep; only wall-clock
         differs.
+    block_storage:
+        Inter-block matrix storage engine from the
+        :mod:`repro.sbm.block_storage` registry: 'dense' (contiguous
+        C x C int64, the oracle) or 'sparse' (per-row non-zero arrays,
+        O(nnz) memory). Trajectories are bit-identical; only memory
+        and wall-clock differ.
     seed:
         Master seed; every random draw in the run derives from it.
     record_work:
@@ -114,6 +120,7 @@ class SBPConfig:
     backend_options: dict = field(default_factory=dict)
     merge_backend: str = "vectorized"
     update_strategy: str = "incremental"
+    block_storage: str = "dense"
     seed: int = 0
     record_work: bool = False
     max_outer_iterations: int = 120
@@ -154,6 +161,15 @@ class SBPConfig:
             raise ValueError(
                 "update_strategy must be 'rebuild' or 'incremental', "
                 f"got {self.update_strategy!r}"
+            )
+        # Validated against the registry so in-test/plugin engines are
+        # accepted; imported lazily (leaf module, no cycle risk).
+        from repro.sbm.block_storage import available_block_storages
+
+        if self.block_storage not in available_block_storages():
+            raise ValueError(
+                f"block_storage must be one of {available_block_storages()}, "
+                f"got {self.block_storage!r}"
             )
 
     def replace(self, **changes) -> "SBPConfig":

@@ -28,6 +28,11 @@ class SweepTrace:
     engine's cost is proportional to. It decays with acceptance as the
     chain settles, which is exactly why the delta barrier wins in late
     sweeps (paper §3.1's argument for H-SBP's cheap convergence).
+
+    ``b_nnz`` / ``b_density`` gauge the inter-block matrix after each
+    sweep: nnz rises as blocks agglomerate while density tracks how far
+    the run is from the dense regime — the signal for picking a
+    ``--block-storage`` engine.
     """
 
     delta_mdl: FloatArray
@@ -35,6 +40,8 @@ class SweepTrace:
     serial_work: FloatArray
     parallel_work: FloatArray
     barrier_moved: FloatArray
+    b_nnz: FloatArray
+    b_density: FloatArray
 
     @property
     def num_sweeps(self) -> int:
@@ -78,6 +85,9 @@ class SweepTrace:
             "parallel_fraction": self.parallel_fraction,
             "mean_barrier_moved": (
                 float(self.barrier_moved.mean()) if self.num_sweeps else 0.0
+            ),
+            "mean_b_density": (
+                float(self.b_density.mean()) if self.num_sweeps else 0.0
             ),
         }
 
@@ -131,4 +141,6 @@ def trace_from_result(result: SBPResult) -> SweepTrace:
         serial_work=np.asarray([s.serial_work for s in stats], dtype=np.float64),
         parallel_work=np.asarray([s.parallel_work for s in stats], dtype=np.float64),
         barrier_moved=np.asarray([s.barrier_moved for s in stats], dtype=np.float64),
+        b_nnz=np.asarray([s.b_nnz for s in stats], dtype=np.float64),
+        b_density=np.asarray([s.b_density for s in stats], dtype=np.float64),
     )

@@ -28,7 +28,8 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.results import SBPResult
-from repro.errors import ReproError, SerializationError
+from repro.errors import BackendError, ReproError, SerializationError
+from repro.sbm.block_storage import get_block_storage
 from repro.sbm.blockmodel import Blockmodel
 from repro.types import Assignment, PhaseTimings
 
@@ -42,7 +43,9 @@ __all__ = [
     "load_blockmodel",
 ]
 
-_RESULT_FORMAT_VERSION = 2
+#: v3 added the memory gauges (peak_rss_bytes, b_nnz, b_density) to the
+#: timings block; older files load them back as zero.
+_RESULT_FORMAT_VERSION = 3
 
 
 @contextmanager
@@ -121,6 +124,9 @@ def save_result(result: SBPResult, path: str | os.PathLike[str]) -> None:
             "merge_apply": result.timings.merge_apply,
             "barrier_rebuild": result.timings.barrier_rebuild,
             "barrier_apply": result.timings.barrier_apply,
+            "peak_rss_bytes": result.timings.peak_rss_bytes,
+            "b_nnz": result.timings.b_nnz,
+            "b_density": result.timings.b_density,
         },
         "mcmc_sweeps": result.mcmc_sweeps,
         "outer_iterations": result.outer_iterations,
@@ -157,6 +163,10 @@ def load_result(path: str | os.PathLike[str]) -> SBPResult:
                 merge_apply=float(timings.get("merge_apply", 0.0)),
                 barrier_rebuild=float(timings.get("barrier_rebuild", 0.0)),
                 barrier_apply=float(timings.get("barrier_apply", 0.0)),
+                # Memory gauges arrived in v3; absent keys read as zero.
+                peak_rss_bytes=int(timings.get("peak_rss_bytes", 0)),
+                b_nnz=int(timings.get("b_nnz", 0)),
+                b_density=float(timings.get("b_density", 0.0)),
             ),
             mcmc_sweeps=int(payload["mcmc_sweeps"]),
             outer_iterations=int(payload["outer_iterations"]),
@@ -217,16 +227,23 @@ def load_assignment(
 
 
 def save_blockmodel(bm: Blockmodel, path: str | os.PathLike[str]) -> None:
-    """Persist blockmodel state as compressed ``.npz``."""
+    """Persist blockmodel state as compressed ``.npz``.
+
+    The matrix is densified for the archive regardless of the in-memory
+    storage engine (compression flattens the zero runs anyway); the
+    engine's registry name rides along so a load reconstructs the same
+    engine.
+    """
     path = os.fspath(path)
     if not path.endswith(".npz"):  # match np.savez's implicit suffix
         path += ".npz"
     with atomic_write(path, mode="wb") as fh:
         np.savez_compressed(
             fh,
-            B=bm.B,
+            B=bm.state.to_dense(),
             assignment=bm.assignment,
             num_blocks=np.asarray([bm.num_blocks], dtype=np.int64),
+            storage=np.asarray(bm.storage_name),
         )
 
 
@@ -234,7 +251,9 @@ def load_blockmodel(path: str | os.PathLike[str]) -> Blockmodel:
     """Load a blockmodel saved by :func:`save_blockmodel`.
 
     Degree vectors are recomputed from B (cheaper than storing them and
-    immune to tampered files disagreeing with the matrix).
+    immune to tampered files disagreeing with the matrix). Archives
+    written before the storage engines existed carry no ``storage``
+    field and load as ``dense``.
     """
     try:
         with np.load(path) as data:
@@ -246,6 +265,7 @@ def load_blockmodel(path: str | os.PathLike[str]) -> Blockmodel:
                 raise SerializationError(
                     f"{path}: missing blockmodel field {exc}"
                 ) from exc
+            storage = str(data["storage"]) if "storage" in data.files else "dense"
     except (zipfile.BadZipFile, EOFError, ValueError, OSError) as exc:
         if isinstance(exc, FileNotFoundError):
             raise
@@ -256,10 +276,15 @@ def load_blockmodel(path: str | os.PathLike[str]) -> Blockmodel:
         raise SerializationError(
             f"{path}: B shape {B.shape} inconsistent with num_blocks {num_blocks}"
         )
+    try:
+        storage_cls = get_block_storage(storage)
+    except BackendError as exc:
+        raise SerializationError(f"{path}: {exc}") from exc
+    state = storage_cls.from_dense(B)
     return Blockmodel(
-        B=B,
-        d_out=B.sum(axis=1),
-        d_in=B.sum(axis=0),
+        B=state,
+        d_out=state.row_sums(),
+        d_in=state.col_sums(),
         assignment=assignment,
         num_blocks=num_blocks,
     )

@@ -526,6 +526,8 @@ class SweepEngine:
                 stats = self.run_sweep(bm, graph, bound, iteration, sweep)
                 mdl = bm.mdl(graph)
             stats.delta_mdl = mdl - monitor.last_mdl
+            stats.b_nnz = bm.state.nnz
+            stats.b_density = bm.state.density
             stats_log.append(
                 stats if self.config.record_work else stats.without_work()
             )

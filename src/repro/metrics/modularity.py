@@ -31,7 +31,7 @@ def directed_modularity(graph: Graph, assignment: Assignment) -> float:
     if E == 0:
         return 0.0
     bm = Blockmodel.from_assignment(graph, assignment)
-    intra = np.diag(bm.B).astype(np.float64)
+    intra = bm.state.diagonal().astype(np.float64)
     d_out = bm.d_out.astype(np.float64)
     d_in = bm.d_in.astype(np.float64)
     return float((intra / E - (d_out / E) * (d_in / E)).sum())

@@ -19,14 +19,17 @@ __all__ = [
     "register_backend",
     "get_backend",
     "available_backends",
+    "backend_registry",
     "MergeBackend",
     "register_merge_backend",
     "get_merge_backend",
     "available_merge_backends",
+    "merge_backend_registry",
     "SweepUpdater",
     "register_update_strategy",
     "get_update_strategy",
     "available_update_strategies",
+    "update_strategy_registry",
 ]
 
 
@@ -109,6 +112,12 @@ def available_backends() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def backend_registry() -> dict[str, Callable[..., ExecutionBackend]]:
+    """Name → factory snapshot of the execution-backend registry."""
+    available_backends()  # import side effect registers the built-ins
+    return dict(_REGISTRY)
+
+
 class MergeBackend(ABC):
     """Evaluates one block-merge phase's candidate scan (paper Alg. 1).
 
@@ -161,6 +170,12 @@ def available_merge_backends() -> list[str]:
     from repro.parallel import merge  # noqa: F401
 
     return sorted(_MERGE_REGISTRY)
+
+
+def merge_backend_registry() -> dict[str, Callable[..., MergeBackend]]:
+    """Name → factory snapshot of the merge-backend registry."""
+    available_merge_backends()
+    return dict(_MERGE_REGISTRY)
 
 
 class SweepUpdater(ABC):
@@ -225,3 +240,9 @@ def available_update_strategies() -> list[str]:
     from repro.sbm import incremental  # noqa: F401
 
     return sorted(_UPDATE_REGISTRY)
+
+
+def update_strategy_registry() -> dict[str, Callable[..., SweepUpdater]]:
+    """Name → factory snapshot of the update-strategy registry."""
+    available_update_strategies()
+    return dict(_UPDATE_REGISTRY)

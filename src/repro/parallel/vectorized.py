@@ -54,7 +54,7 @@ class VectorizedBackend(ExecutionBackend):
         vertices = np.asarray(vertices, dtype=np.int64)
         C = bm.num_blocks
         assignment = bm.assignment
-        B = bm.B
+        state = bm.state
         r = assignment[vertices]
 
         targets = self._propose(bm, graph, vertices, uniforms, C)
@@ -85,14 +85,14 @@ class VectorizedBackend(ExecutionBackend):
         kis = _pick_count(t_in_vid, t_in_blk, t_in_cnt, sm, M)
 
         delta_g = np.zeros(M, dtype=np.float64)
-        _accumulate_generic(delta_g, B, t_out_vid, t_out_blk, t_out_cnt, rm, sm, axis=0)
-        _accumulate_generic(delta_g, B, t_in_vid, t_in_blk, t_in_cnt, rm, sm, axis=1)
+        _accumulate_generic(delta_g, state, t_out_vid, t_out_blk, t_out_cnt, rm, sm, axis=0)
+        _accumulate_generic(delta_g, state, t_in_vid, t_in_blk, t_in_cnt, rm, sm, axis=1)
 
         # intersection cells, same order as the serial oracle
-        brr = B[rm, rm].astype(np.float64)
-        brs = B[rm, sm].astype(np.float64)
-        bsr = B[sm, rm].astype(np.float64)
-        bss = B[sm, sm].astype(np.float64)
+        brr = state.gather(rm, rm).astype(np.float64)
+        brs = state.gather(rm, sm).astype(np.float64)
+        bsr = state.gather(sm, rm).astype(np.float64)
+        bss = state.gather(sm, sm).astype(np.float64)
         d1 = -kor - kir - loops
         d2 = -kos + kir
         d3 = kor - kis
@@ -143,7 +143,6 @@ class VectorizedBackend(ExecutionBackend):
         """Stage 1: batch neighbour-guided proposals (matches moves.py)."""
         count = vertices.shape[0]
         assignment = bm.assignment
-        B = bm.B
         deg = graph.degree[vertices]
         # Floor-and-clamp draws, mirroring moves.py: identical for
         # u ∈ [0, 1), in-range at the u == 1.0 boundary.
@@ -176,15 +175,11 @@ class VectorizedBackend(ExecutionBackend):
             if lo == hi:
                 continue
             block = int(u_sorted[lo])
-            weights = B[block, :] + B[:, block]
-            cdf = np.cumsum(weights)
-            total = int(cdf[-1]) if cdf.size else 0
+            row_cdf = bm.state.sym_row_cdf(block)
             rows = he_sorted[lo:hi]
-            if total <= 0:
+            if row_cdf.total <= 0:
                 continue  # keep the uniform fallback already in `targets`
-            draws = (uniforms[rows, 2] * total).astype(np.int64)
-            np.minimum(draws, total - 1, out=draws)
-            targets[rows] = np.searchsorted(cdf, draws, side="right")
+            targets[rows] = row_cdf.draw_many(uniforms[rows, 2])
         return targets
 
 
@@ -230,7 +225,7 @@ def _pick_count(
 
 def _accumulate_generic(
     delta_g: np.ndarray,
-    B: np.ndarray,
+    state,
     vid: IntArray,
     blk: IntArray,
     cnt: IntArray,
@@ -252,11 +247,11 @@ def _accumulate_generic(
     t = blk[mask]
     c = cnt[mask].astype(np.float64)
     if axis == 0:
-        cell_r = B[rm[v], t].astype(np.float64)
-        cell_s = B[sm[v], t].astype(np.float64)
+        cell_r = state.gather(rm[v], t).astype(np.float64)
+        cell_s = state.gather(sm[v], t).astype(np.float64)
     else:
-        cell_r = B[t, rm[v]].astype(np.float64)
-        cell_s = B[t, sm[v]].astype(np.float64)
+        cell_r = state.gather(t, rm[v]).astype(np.float64)
+        cell_s = state.gather(t, sm[v]).astype(np.float64)
     terms = _g(cell_r - c) - _g(cell_r) + _g(cell_s + c) - _g(cell_s)
     np.add.at(delta_g, v, terms)
 
@@ -281,7 +276,7 @@ def _batch_hastings(
     degree: np.ndarray,
 ) -> np.ndarray:
     """Batch proposal-asymmetry correction over the union support."""
-    B = bm.B
+    state = bm.state
     n_out = t_out_vid.shape[0]
     keys = np.concatenate([t_out_vid * C + t_out_blk, t_in_vid * C + t_in_blk])
     if keys.size == 0:
@@ -303,12 +298,12 @@ def _batch_hastings(
     d_t = bm.d[ht].astype(np.float64)
     Cf = float(C)
 
-    fwd = k_all * (B[ht, st] + B[st, ht] + 1.0) / (d_t + Cf)
+    fwd = k_all * (state.gather(ht, st) + state.gather(st, ht) + 1.0) / (d_t + Cf)
     p_fwd = np.zeros(M, dtype=np.float64)
     np.add.at(p_fwd, hvid, fwd)
 
-    b_tr = B[ht, rt].astype(np.float64) - c_in_u
-    b_rt = B[rt, ht].astype(np.float64) - c_out_u
+    b_tr = state.gather(ht, rt).astype(np.float64) - c_in_u
+    b_rt = state.gather(rt, ht).astype(np.float64) - c_out_u
     is_r = ht == rt
     is_s = ht == st
     b_tr[is_r] += -kor[hvid[is_r]] - loops[hvid[is_r]]

@@ -15,6 +15,7 @@ On-disk layout (one directory per run)::
     state_00007.anchor0.npz    # golden-section anchors (absent if unset)
     state_00007.anchor1.npz
     run_00.result.json         # best-of-N: completed run results
+    run_00.result.digest       # best-of-N: config digest of that run
     run_00/                    # best-of-N: per-run snapshot directory
 
 The manifest is written *after* its ``.npz`` companions via
@@ -58,11 +59,12 @@ _MANIFEST_RE = re.compile(r"^state_(\d{5})\.json$")
 #: Backend choices are deliberately excluded: every execution/merge
 #: backend is bit-identical by construction, so a run checkpointed under
 #: ``--backend process`` may resume under ``--backend serial``.
-#: ``update_strategy`` IS included even though both engines are
-#: bit-identical too: the engines maintain state through different code
-#: paths (delta-apply vs recount), so a resume that silently switched
-#: engines would mask exactly the class of drift the equivalence tests
-#: exist to catch — a mismatch is rejected, not papered over.
+#: ``update_strategy`` and ``block_storage`` ARE included even though
+#: their engines are bit-identical too: each maintains state through a
+#: different code path (delta-apply vs recount; dense vs sparse matrix),
+#: so a resume that silently switched engines would mask exactly the
+#: class of drift the equivalence tests exist to catch — a mismatch is
+#: rejected, not papered over.
 _DETERMINISM_FIELDS = (
     "variant",
     "seed",
@@ -76,6 +78,7 @@ _DETERMINISM_FIELDS = (
     "merge_proposals_per_block",
     "block_reduction_rate",
     "update_strategy",
+    "block_storage",
 )
 
 
@@ -256,16 +259,41 @@ class RunCheckpointer:
     def _result_path(self, index: int) -> Path:
         return self.directory / f"run_{index:02d}.result.json"
 
-    def save_completed(self, index: int, result: SBPResult) -> None:
-        """Record a finished best-of-N member run."""
+    def _result_digest_path(self, index: int) -> Path:
+        return self.directory / f"run_{index:02d}.result.digest"
+
+    def save_completed(
+        self, index: int, result: SBPResult, digest: str = ""
+    ) -> None:
+        """Record a finished best-of-N member run (plus its config digest)."""
         self.directory.mkdir(parents=True, exist_ok=True)
         save_result(result, self._result_path(index))
+        if digest:
+            with atomic_write(self._result_digest_path(index)) as fh:
+                fh.write(digest)
 
-    def load_completed(self, index: int) -> SBPResult | None:
-        """Load a finished member run; None if absent, warn if damaged."""
+    def load_completed(self, index: int, digest: str = "") -> SBPResult | None:
+        """Load a finished member run; None if absent, warn if damaged.
+
+        When ``digest`` is given and the stored run carries a digest
+        sidecar, a mismatch raises :class:`CheckpointError` — replaying
+        a result computed under a different configuration would
+        silently bypass the resume-compatibility check that in-progress
+        snapshots already enforce. Results saved without a sidecar
+        (older checkpoints) are accepted as before.
+        """
         path = self._result_path(index)
         if not path.exists():
             return None
+        digest_path = self._result_digest_path(index)
+        if digest and digest_path.exists():
+            stored = digest_path.read_text(encoding="utf-8").strip()
+            if stored != digest:
+                raise CheckpointError(
+                    f"{path}: completed run was produced by an incompatible "
+                    "configuration (seed/variant/chain parameters differ); "
+                    "refusing to reuse it"
+                )
         try:
             return load_result(path)
         except SerializationError as exc:

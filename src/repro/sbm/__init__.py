@@ -1,5 +1,14 @@
 """Degree-corrected stochastic blockmodel state and MDL computations."""
 
+from repro.sbm.block_storage import (
+    BlockState,
+    DenseBlockState,
+    RowCDF,
+    SparseBlockState,
+    available_block_storages,
+    get_block_storage,
+    register_block_storage,
+)
 from repro.sbm.blockmodel import Blockmodel
 from repro.sbm.entropy import (
     xlogx,
@@ -25,6 +34,13 @@ from repro.sbm.incremental import (
 )
 
 __all__ = [
+    "BlockState",
+    "DenseBlockState",
+    "SparseBlockState",
+    "RowCDF",
+    "register_block_storage",
+    "get_block_storage",
+    "available_block_storages",
     "Blockmodel",
     "xlogx",
     "h_binary",

@@ -1,19 +1,23 @@
 """Mutable degree-corrected blockmodel state.
 
-Holds the inter-block edge-count matrix ``B`` (dense, C x C), the block
-degree vectors and the vertex-to-block assignment, and supports the three
-state transitions SBP needs:
+Holds the inter-block edge-count matrix (behind a pluggable
+:class:`~repro.sbm.block_storage.BlockState` engine), the block degree
+vectors and the vertex-to-block assignment, and supports the three state
+transitions SBP needs:
 
 * :meth:`apply_move` — O(degree) in-place update for one vertex move
   (serial Metropolis-Hastings path, paper Alg. 2 / the V* pass of Alg. 4),
-* :meth:`rebuild` — recompute ``B`` from an assignment vector in one
+* :meth:`rebuild` — recompute the matrix from an assignment vector in one
   vectorized pass (the per-sweep reconstruction of A-SBP, Alg. 3),
 * :meth:`merge_blocks` / :meth:`compact` — the block-merge phase (Alg. 1).
 
-Dense storage is a deliberate substitution for the authors' C++ sparse
-structures: at the reproduction's scales (C <= ~1500) dense rows give
-cache-friendly O(C) vector operations and trivially correct vectorized
-rebuilds (see DESIGN.md section 5).
+Storage is selected at construction (``storage="dense"`` or
+``"sparse"``; see :mod:`repro.sbm.block_storage`): dense keeps the
+original contiguous C x C oracle, sparse keeps per-row non-zero arrays
+whose footprint scales with nnz rather than C^2. Both engines produce
+bit-identical trajectories. The :attr:`B` property preserves the legacy
+dense view — for the dense engine it is the *live* array (in-place pokes
+keep working); for sparse engines it is a dense materialization.
 """
 
 from __future__ import annotations
@@ -22,10 +26,17 @@ import numpy as np
 
 from repro.errors import BlockmodelError
 from repro.graph.graph import Graph
+from repro.sbm.block_storage import BlockState, DenseBlockState, get_block_storage
 from repro.sbm.entropy import description_length
 from repro.types import Assignment, IntArray
 
 __all__ = ["Blockmodel"]
+
+
+def _resolve_storage(storage: str | type[BlockState]) -> type[BlockState]:
+    if isinstance(storage, str):
+        return get_block_storage(storage)
+    return storage
 
 
 class Blockmodel:
@@ -33,9 +44,10 @@ class Blockmodel:
 
     Attributes
     ----------
-    B:
-        Dense ``(C, C)`` int64 matrix; ``B[r, s]`` counts edges from
-        block r to block s.
+    state:
+        The :class:`~repro.sbm.block_storage.BlockState` engine holding
+        the ``(C, C)`` int64 inter-block edge-count matrix;
+        ``state.get(r, s)`` counts edges from block r to block s.
     d_out, d_in, d:
         Block degree vectors; ``d = d_out + d_in`` (self-block edges are
         counted once in each direction, so a block's ``d`` weighs its
@@ -47,29 +59,52 @@ class Blockmodel:
         :meth:`compact` to drop them.
     """
 
-    __slots__ = ("B", "d_out", "d_in", "d", "assignment", "num_blocks")
+    __slots__ = ("state", "d_out", "d_in", "d", "assignment", "num_blocks")
 
     def __init__(
         self,
-        B: np.ndarray,
+        B: np.ndarray | BlockState,
         d_out: IntArray,
         d_in: IntArray,
         assignment: Assignment,
         num_blocks: int,
     ) -> None:
-        self.B = B
+        if isinstance(B, BlockState):
+            self.state = B
+        else:
+            self.state = DenseBlockState(B)
         self.d_out = d_out
         self.d_in = d_in
         self.d = d_out + d_in
         self.assignment = assignment
         self.num_blocks = num_blocks
 
+    @property
+    def B(self) -> np.ndarray:
+        """Dense view of the inter-block matrix.
+
+        Live (mutable, aliasing the state) for the dense engine; a dense
+        materialization for sparse engines. Kernels should read through
+        :attr:`state` instead — this property exists for legacy call
+        sites, diagnostics and serialization.
+        """
+        return self.state.likelihood_matrix()
+
+    @property
+    def storage_name(self) -> str:
+        """Registry name of the active storage engine."""
+        return self.state.name
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
     def from_assignment(
-        cls, graph: Graph, assignment: Assignment, num_blocks: int | None = None
+        cls,
+        graph: Graph,
+        assignment: Assignment,
+        num_blocks: int | None = None,
+        storage: str | type[BlockState] = "dense",
     ) -> "Blockmodel":
         """Build blockmodel state from a membership vector."""
         assignment = np.asarray(assignment, dtype=np.int64)
@@ -82,20 +117,26 @@ class Blockmodel:
             num_blocks = int(assignment.max()) + 1 if assignment.size else 1
         if assignment.size and (assignment.min() < 0 or assignment.max() >= num_blocks):
             raise BlockmodelError("assignment values must lie in [0, num_blocks)")
-        B = _count_block_edges(graph, assignment, num_blocks)
-        d_out = B.sum(axis=1)
-        d_in = B.sum(axis=0)
-        return cls(B, d_out, d_in, assignment.copy(), num_blocks)
+        state = _count_block_edges_state(
+            graph, assignment, num_blocks, _resolve_storage(storage)
+        )
+        d_out = state.row_sums()
+        d_in = state.col_sums()
+        return cls(state, d_out, d_in, assignment.copy(), num_blocks)
 
     @classmethod
-    def singleton(cls, graph: Graph) -> "Blockmodel":
+    def singleton(
+        cls, graph: Graph, storage: str | type[BlockState] = "dense"
+    ) -> "Blockmodel":
         """The SBP starting point: every vertex in its own block."""
         assignment = np.arange(graph.num_vertices, dtype=np.int64)
-        return cls.from_assignment(graph, assignment, graph.num_vertices)
+        return cls.from_assignment(
+            graph, assignment, graph.num_vertices, storage=storage
+        )
 
     def copy(self) -> "Blockmodel":
         return Blockmodel(
-            self.B.copy(),
+            self.state.copy(),
             self.d_out.copy(),
             self.d_in.copy(),
             self.assignment.copy(),
@@ -103,20 +144,23 @@ class Blockmodel:
         )
 
     def rebuild(self, graph: Graph, assignment: Assignment | None = None) -> None:
-        """Recompute ``B`` and degrees from ``assignment`` (A-SBP step).
+        """Recompute the matrix and degrees from ``assignment`` (A-SBP step).
 
         When ``assignment`` is given it replaces the stored vector. The
         matrix dimension is kept so block ids remain stable across the
-        rebuild (empty blocks are allowed mid-phase).
+        rebuild (empty blocks are allowed mid-phase). The storage engine
+        is preserved.
         """
         if assignment is not None:
             assignment = np.asarray(assignment, dtype=np.int64)
             if assignment.shape != self.assignment.shape:
                 raise BlockmodelError("assignment shape changed across rebuild")
             self.assignment = assignment.copy()
-        self.B = _count_block_edges(graph, self.assignment, self.num_blocks)
-        self.d_out = self.B.sum(axis=1)
-        self.d_in = self.B.sum(axis=0)
+        self.state = _count_block_edges_state(
+            graph, self.assignment, self.num_blocks, type(self.state)
+        )
+        self.d_out = self.state.row_sums()
+        self.d_in = self.state.col_sums()
         self.d = self.d_out + self.d_in
 
     # ------------------------------------------------------------------
@@ -134,7 +178,7 @@ class Blockmodel:
         deg_out_v: int,
         deg_in_v: int,
     ) -> None:
-        """Move vertex ``v`` to block ``s``, updating ``B`` incrementally.
+        """Move vertex ``v`` to block ``s``, updating the matrix incrementally.
 
         ``t_out``/``c_out`` are the neighbour blocks of v's out-edges
         (excluding self-loops) and their multiplicities under the
@@ -146,14 +190,7 @@ class Blockmodel:
         r = int(self.assignment[v])
         if r == s:
             return
-        B = self.B
-        B[r, t_out] -= c_out
-        B[s, t_out] += c_out
-        B[t_in, r] -= c_in
-        B[t_in, s] += c_in
-        if loops:
-            B[r, r] -= loops
-            B[s, s] += loops
+        self.state.apply_move(r, s, t_out, c_out, t_in, c_in, loops)
         self.d_out[r] -= deg_out_v
         self.d_out[s] += deg_out_v
         self.d_in[r] -= deg_in_v
@@ -190,13 +227,7 @@ class Blockmodel:
         """
         if r == s:
             raise BlockmodelError("cannot merge a block with itself")
-        B = self.B
-        B[s, :] += B[r, :]
-        B[:, s] += B[:, r]
-        # B[r, r] was added to B[s, r] then B[s, r] into B[s, s]; the two
-        # full-row/col adds above handle all cross terms, then we zero r.
-        B[r, :] = 0
-        B[:, r] = 0
+        self.state.merge_into(r, s)
         self.d_out[s] += self.d_out[r]
         self.d_in[s] += self.d_in[r]
         self.d[s] += self.d[r]
@@ -214,7 +245,7 @@ class Blockmodel:
         mapping = np.full(self.num_blocks, -1, dtype=np.int64)
         mapping[occupied] = np.arange(int(occupied.sum()), dtype=np.int64)
         keep = np.nonzero(occupied)[0]
-        self.B = np.ascontiguousarray(self.B[np.ix_(keep, keep)])
+        self.state = self.state.compact(keep, mapping)
         self.d_out = self.d_out[keep].copy()
         self.d_in = self.d_in[keep].copy()
         self.d = self.d[keep].copy()
@@ -227,7 +258,7 @@ class Blockmodel:
     # ------------------------------------------------------------------
     @property
     def num_edges(self) -> int:
-        return int(self.B.sum())
+        return self.state.total
 
     @property
     def num_nonempty_blocks(self) -> int:
@@ -237,11 +268,17 @@ class Blockmodel:
         return np.bincount(self.assignment, minlength=self.num_blocks)
 
     def mdl(self, graph: Graph) -> float:
-        """Full description length (Eq. 2) of this state for ``graph``."""
+        """Full description length (Eq. 2) of this state for ``graph``.
+
+        The entropy kernel receives a *dense* matrix from either engine
+        (:meth:`~repro.sbm.block_storage.BlockState.likelihood_matrix`)
+        so numpy's pairwise summation walks identical operands and the
+        MDL trace stays byte-equal across storages.
+        """
         return description_length(
             graph.num_edges,
             graph.num_vertices,
-            self.B,
+            self.state.likelihood_matrix(),
             self.d_out,
             self.d_in,
             num_blocks=self.num_blocks,
@@ -253,11 +290,11 @@ class Blockmodel:
         Used by tests and by drivers in debug mode; O(E + C^2).
         """
         expected = _count_block_edges(graph, self.assignment, self.num_blocks)
-        if not np.array_equal(expected, self.B):
+        if not np.array_equal(expected, self.state.to_dense()):
             raise BlockmodelError("B matrix inconsistent with assignment")
-        if not np.array_equal(self.B.sum(axis=1), self.d_out):
+        if not np.array_equal(self.state.row_sums(), self.d_out):
             raise BlockmodelError("d_out inconsistent with B")
-        if not np.array_equal(self.B.sum(axis=0), self.d_in):
+        if not np.array_equal(self.state.col_sums(), self.d_in):
             raise BlockmodelError("d_in inconsistent with B")
         if not np.array_equal(self.d, self.d_out + self.d_in):
             raise BlockmodelError("d inconsistent with d_out + d_in")
@@ -265,8 +302,24 @@ class Blockmodel:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Blockmodel(C={self.num_blocks}, occupied={self.num_nonempty_blocks}, "
-            f"E={self.num_edges})"
+            f"E={self.num_edges}, storage={self.storage_name})"
         )
+
+
+def _count_block_edges_state(
+    graph: Graph,
+    assignment: Assignment,
+    num_blocks: int,
+    storage_cls: type[BlockState],
+) -> BlockState:
+    """Count inter-block edges into a fresh storage engine."""
+    if graph.num_edges:
+        src_blocks = assignment[graph.edges[:, 0]]
+        dst_blocks = assignment[graph.edges[:, 1]]
+    else:
+        src_blocks = np.empty(0, dtype=np.int64)
+        dst_blocks = np.empty(0, dtype=np.int64)
+    return storage_cls.from_edges(src_blocks, dst_blocks, num_blocks)
 
 
 def _count_block_edges(graph: Graph, assignment: Assignment, num_blocks: int) -> np.ndarray:

@@ -126,7 +126,7 @@ def vertex_move_delta(bm: Blockmodel, ctx: VertexMoveContext, s: int) -> float:
     r = ctx.r
     if s == r:
         return 0.0
-    B = bm.B
+    st = bm.state
 
     delta_g = 0.0
 
@@ -136,8 +136,8 @@ def vertex_move_delta(bm: Blockmodel, ctx: VertexMoveContext, s: int) -> float:
         t = ctx.t_out[mask]
         c = ctx.c_out[mask].astype(np.float64)
         if t.size:
-            row_r = B[r, t].astype(np.float64)
-            row_s = B[s, t].astype(np.float64)
+            row_r = st.row_gather(r, t).astype(np.float64)
+            row_s = st.row_gather(s, t).astype(np.float64)
             terms = _g(row_r - c) - _g(row_r) + _g(row_s + c) - _g(row_s)
             delta_g += _seq_sum(terms)
 
@@ -147,8 +147,8 @@ def vertex_move_delta(bm: Blockmodel, ctx: VertexMoveContext, s: int) -> float:
         t = ctx.t_in[mask]
         c = ctx.c_in[mask].astype(np.float64)
         if t.size:
-            col_r = B[t, r].astype(np.float64)
-            col_s = B[t, s].astype(np.float64)
+            col_r = st.col_gather(r, t).astype(np.float64)
+            col_s = st.col_gather(s, t).astype(np.float64)
             terms = _g(col_r - c) - _g(col_r) + _g(col_s + c) - _g(col_s)
             delta_g += _seq_sum(terms)
 
@@ -156,10 +156,10 @@ def vertex_move_delta(bm: Blockmodel, ctx: VertexMoveContext, s: int) -> float:
     k_out_r, k_out_s = _count_at(ctx.t_out, ctx.c_out, r, s)
     k_in_r, k_in_s = _count_at(ctx.t_in, ctx.c_in, r, s)
     corners = (
-        (B[r, r], -k_out_r - k_in_r - ctx.loops),
-        (B[r, s], -k_out_s + k_in_r),
-        (B[s, r], k_out_r - k_in_s),
-        (B[s, s], k_out_s + k_in_s + ctx.loops),
+        (st.get(r, r), -k_out_r - k_in_r - ctx.loops),
+        (st.get(r, s), -k_out_s + k_in_r),
+        (st.get(s, r), k_out_r - k_in_s),
+        (st.get(s, s), k_out_s + k_in_s + ctx.loops),
     )
     for old, diff in corners:
         if diff:
@@ -198,14 +198,14 @@ def hastings_correction(bm: Blockmodel, ctx: VertexMoveContext, s: int) -> float
         return 1.0
     k = ctx.c_all.astype(np.float64)
     C = float(bm.num_blocks)
-    B = bm.B
+    st = bm.state
 
     d_t = bm.d[t].astype(np.float64)
-    fwd = k * (B[t, s] + B[s, t] + 1.0) / (d_t + C)
+    fwd = k * (st.col_gather(s, t) + st.row_gather(s, t) + 1.0) / (d_t + C)
 
     # Post-move cells B'[t, r] and B'[r, t] over the support, and d'.
-    b_tr = B[t, r].astype(np.float64).copy()
-    b_rt = B[r, t].astype(np.float64).copy()
+    b_tr = st.col_gather(r, t).astype(np.float64)
+    b_rt = st.row_gather(r, t).astype(np.float64)
     # in-edges leave column r; out-edges leave row r.
     b_tr -= _scatter(ctx.t_in, ctx.c_in, t)
     b_rt -= _scatter(ctx.t_out, ctx.c_out, t)
@@ -247,27 +247,27 @@ def merge_delta(bm: Blockmodel, r: int, s: int) -> float:
     """
     if r == s:
         return 0.0
-    B = bm.B
+    st = bm.state
     C = bm.num_blocks
     mask = np.ones(C, dtype=bool)
     mask[r] = False
     mask[s] = False
 
-    row_r = B[r, mask].astype(np.float64)
-    row_s = B[s, mask].astype(np.float64)
-    col_r = B[mask, r].astype(np.float64)
-    col_s = B[mask, s].astype(np.float64)
+    row_r = st.dense_row(r)[mask].astype(np.float64)
+    row_s = st.dense_row(s)[mask].astype(np.float64)
+    col_r = st.dense_col(r)[mask].astype(np.float64)
+    col_s = st.dense_col(s)[mask].astype(np.float64)
 
     delta_g = _seq_sum(_g(row_r + row_s) - _g(row_r) - _g(row_s)) + _seq_sum(
         _g(col_r + col_s) - _g(col_r) - _g(col_s)
     )
-    corner_new = float(B[s, s] + B[r, s] + B[s, r] + B[r, r])
+    corner_new = float(st.get(s, s) + st.get(r, s) + st.get(s, r) + st.get(r, r))
     delta_g += (
         _g_scalar(corner_new)
-        - _g_scalar(float(B[s, s]))
-        - _g_scalar(float(B[r, s]))
-        - _g_scalar(float(B[s, r]))
-        - _g_scalar(float(B[r, r]))
+        - _g_scalar(float(st.get(s, s)))
+        - _g_scalar(float(st.get(r, s)))
+        - _g_scalar(float(st.get(s, r)))
+        - _g_scalar(float(st.get(r, r)))
     )
 
     delta_deg = (
@@ -308,7 +308,7 @@ def merge_delta_batch(bm: Blockmodel, r: IntArray, s: IntArray) -> FloatArray:
     if not live.any():
         return out
 
-    B = bm.B
+    st = bm.state
     C = bm.num_blocks
     keys = r[live] * C + s[live]
     ukeys, inv = np.unique(keys, return_inverse=True)
@@ -316,8 +316,7 @@ def merge_delta_batch(bm: Blockmodel, r: IntArray, s: IntArray) -> FloatArray:
     us = ukeys % C
 
     # Sparse views of B: CSR (row-major nonzeros) and CSC (column-major).
-    nz_r, nz_c = np.nonzero(B)
-    nz_v = B[nz_r, nz_c]
+    nz_r, nz_c, nz_v = st.nonzero()
     row_ptr = np.zeros(C + 1, dtype=np.int64)
     np.cumsum(np.bincount(nz_r, minlength=C), out=row_ptr[1:])
     csc_order = np.argsort(nz_c * C + nz_r, kind="stable")
@@ -331,10 +330,10 @@ def merge_delta_batch(bm: Blockmodel, r: IntArray, s: IntArray) -> FloatArray:
     )
 
     # Intersection cells collapse onto the merged diagonal entry.
-    brr = B[ur, ur].astype(np.float64)
-    brs = B[ur, us].astype(np.float64)
-    bsr = B[us, ur].astype(np.float64)
-    bss = B[us, us].astype(np.float64)
+    brr = st.gather(ur, ur).astype(np.float64)
+    brs = st.gather(ur, us).astype(np.float64)
+    bsr = st.gather(us, ur).astype(np.float64)
+    bss = st.gather(us, us).astype(np.float64)
     corner_new = bss + brs + bsr + brr
     delta_g = delta_g + (_g(corner_new) - _g(bss) - _g(brs) - _g(bsr) - _g(brr))
 

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.parallel.backend import SweepUpdater, register_update_strategy
+from repro.sbm.block_storage import RowCDF
 from repro.sbm.blockmodel import Blockmodel
 from repro.types import IntArray
 from repro.utils.arrays import expand_ranges
@@ -116,9 +117,7 @@ def apply_sweep_delta(
     new_src_blk = assignment[src]
     new_dst_blk = assignment[dst]
 
-    B = bm.B
-    np.subtract.at(B, (old_src_blk, old_dst_blk), 1)
-    np.add.at(B, (new_src_blk, new_dst_blk), 1)
+    bm.state.scatter_edges(old_src_blk, old_dst_blk, new_src_blk, new_dst_blk)
 
     deg_out = graph.out_degree[moved_vertices]
     deg_in = graph.in_degree[moved_vertices]
@@ -132,11 +131,12 @@ def apply_sweep_delta(
 
 
 class ProposalCache:
-    """Per-sweep cache of symmetrized proposal rows and their CDFs.
+    """Per-sweep cache of symmetrized proposal-row CDF views.
 
-    ``row_cdf(u)`` returns ``cumsum(B[u, :] + B[:, u])`` — the exact
-    int64 CDF the uncached multinomial draw builds — computing it at
-    most once per block between invalidations. An accepted move r → s
+    ``row_cdf(u)`` returns the storage engine's
+    :class:`~repro.sbm.block_storage.RowCDF` over ``B[u, :] + B[:, u]``
+    — the exact view the uncached multinomial draw builds — computing it
+    at most once per block between invalidations. An accepted move r → s
     dirties precisely the blocks whose symmetrized row contains a
     changed cell: ``{r, s}`` (their full row/column changed) plus the
     mover's neighbour blocks ``t_out ∪ t_in`` (cells ``(r|s, t)`` and
@@ -148,16 +148,15 @@ class ProposalCache:
 
     def __init__(self, bm: Blockmodel) -> None:
         self._bm = bm
-        self._cdfs: dict[int, np.ndarray] = {}
+        self._cdfs: dict[int, RowCDF] = {}
         self.hits = 0
         self.misses = 0
 
-    def row_cdf(self, u: int) -> np.ndarray:
+    def row_cdf(self, u: int) -> RowCDF:
         cdf = self._cdfs.get(u)
         if cdf is None:
             self.misses += 1
-            B = self._bm.B
-            cdf = np.cumsum(B[u, :] + B[:, u])
+            cdf = self._bm.state.sym_row_cdf(u)
             self._cdfs[u] = cdf
         else:
             self.hits += 1

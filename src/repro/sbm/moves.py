@@ -69,9 +69,8 @@ def propose_vertex_move(
         return min(int(uniforms[3] * C), C - 1)
     fallback = min(int(uniforms[3] * C), C - 1)
     if cache is not None:
-        return _cdf_draw(cache.row_cdf(u), uniforms[2], fallback=fallback)
-    weights = bm.B[u, :] + bm.B[:, u]
-    return _inverse_cdf_draw(weights, uniforms[2], fallback=fallback)
+        return cache.row_cdf(u).draw(uniforms[2], fallback)
+    return bm.state.sym_row_cdf(u).draw(uniforms[2], fallback)
 
 
 def propose_block_merge(bm: Blockmodel, r: int, uniforms: np.ndarray) -> int:
@@ -83,16 +82,16 @@ def propose_block_merge(bm: Blockmodel, r: int, uniforms: np.ndarray) -> int:
     C = bm.num_blocks
     if C <= 1:
         raise ValueError("cannot propose a merge with fewer than two blocks")
-    incident = bm.B[r, :] + bm.B[:, r]
-    d_r = int(incident.sum())
-    if d_r == 0:
+    incident = bm.state.sym_row_cdf(r)
+    if incident.total == 0:
         return _uniform_other(C, r, uniforms[3])
-    u = _inverse_cdf_draw(incident, uniforms[0], fallback=_uniform_other(C, r, uniforms[3]))
+    u = incident.draw(uniforms[0], _uniform_other(C, r, uniforms[3]))
     d_u = int(bm.d[u])
     if uniforms[1] < C / (d_u + C):
         return _uniform_other(C, r, uniforms[3])
-    weights = bm.B[u, :] + bm.B[:, u]
-    s = _inverse_cdf_draw(weights, uniforms[2], fallback=_uniform_other(C, r, uniforms[3]))
+    s = bm.state.sym_row_cdf(u).draw(
+        uniforms[2], _uniform_other(C, r, uniforms[3])
+    )
     if s == r:
         return _uniform_other(C, r, uniforms[3])
     return s
@@ -117,7 +116,6 @@ def propose_block_merges_batch(bm: Blockmodel, uniforms: np.ndarray) -> np.ndarr
     if u.ndim != 3 or u.shape[0] != C or u.shape[2] < 4:
         raise ValueError(f"uniforms must have shape (C, proposals, >=4), got {u.shape}")
 
-    B = bm.B
     # Fallback draw, uniform over the C - 1 blocks != r (see _uniform_other).
     r_col = np.arange(C, dtype=np.int64)[:, None]
     fb = (u[:, :, 3] * (C - 1)).astype(np.int64)
@@ -134,8 +132,7 @@ def propose_block_merges_batch(bm: Blockmodel, uniforms: np.ndarray) -> np.ndarr
     # cells are CDF plateaus that searchsorted(side="right") can never
     # return, so dropping them leaves every draw bit-identical to the
     # dense row scan of the serial oracle.
-    nz_r, nz_c = np.nonzero(B)
-    nz_v = B[nz_r, nz_c].astype(np.int64)
+    nz_r, nz_c, nz_v = bm.state.nonzero()
     key = np.concatenate([nz_r * C + nz_c, nz_c * C + nz_r])
     val = np.concatenate([nz_v, nz_v])
     order = np.argsort(key, kind="stable")

@@ -50,6 +50,12 @@ class PhaseTimings:
     ``incremental`` engine). A run uses one engine, so at most one
     bucket is non-zero — the Fig. 2 breakdown reads them to show where
     the barrier time went.
+
+    ``peak_rss_bytes``, ``b_nnz`` and ``b_density`` are memory *gauges*,
+    not accumulators: peak process RSS sampled at the end of the run,
+    and the final blockmodel's inter-block-matrix non-zero count and
+    density. ``merged_with`` keeps the max (a best-of protocol's peak is
+    the max over member runs), unlike the time buckets which sum.
     """
 
     block_merge: float = 0.0
@@ -60,6 +66,9 @@ class PhaseTimings:
     merge_apply: float = 0.0
     barrier_rebuild: float = 0.0
     barrier_apply: float = 0.0
+    peak_rss_bytes: int = 0
+    b_nnz: int = 0
+    b_density: float = 0.0
 
     @property
     def total(self) -> float:
@@ -83,6 +92,9 @@ class PhaseTimings:
             merge_apply=self.merge_apply + other.merge_apply,
             barrier_rebuild=self.barrier_rebuild + other.barrier_rebuild,
             barrier_apply=self.barrier_apply + other.barrier_apply,
+            peak_rss_bytes=max(self.peak_rss_bytes, other.peak_rss_bytes),
+            b_nnz=max(self.b_nnz, other.b_nnz),
+            b_density=max(self.b_density, other.b_density),
         )
 
 
@@ -113,6 +125,11 @@ class SweepStats:
     work_per_vertex:
         Optional per-vertex work-unit vector for the parallel portion,
         consumed by the simulated thread executor (Fig. 7).
+    b_nnz, b_density:
+        Gauges sampled after the sweep's barrier: non-zero cells of the
+        inter-block matrix and their fraction of C^2. Tracks how sparse
+        the matrix the storage engines hold actually is as the
+        agglomeration coarsens.
     """
 
     proposals: int = 0
@@ -121,6 +138,8 @@ class SweepStats:
     serial_work: float = 0.0
     parallel_work: float = 0.0
     barrier_moved: int = 0
+    b_nnz: int = 0
+    b_density: float = 0.0
     work_per_vertex: IntArray | None = field(default=None, repr=False)
 
     @property
@@ -144,4 +163,6 @@ class SweepStats:
             serial_work=self.serial_work,
             parallel_work=self.parallel_work,
             barrier_moved=self.barrier_moved,
+            b_nnz=self.b_nnz,
+            b_density=self.b_density,
         )

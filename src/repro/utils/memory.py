@@ -1,0 +1,30 @@
+"""Process memory observability helpers.
+
+Backs the storage-engine refactor's memory claims with measurements: the
+run drivers sample peak RSS once per completed run and record the block
+matrix's nnz/density gauges per sweep (see
+:class:`repro.types.PhaseTimings` / :class:`repro.types.SweepStats`).
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["peak_rss_bytes"]
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process in bytes; 0 if unknown.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS. Platforms
+    without the ``resource`` module (Windows) report 0 rather than
+    failing — the gauge is observability, not a correctness input.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return int(peak)
+    return int(peak) * 1024

@@ -121,7 +121,8 @@ def trace_phase(graph, variant: str, strategy: str, backend_name: str,
     config = make_config(variant, strategy, backend_name, seed,
                          max_sweeps=PHASE_SWEEPS, **overrides)
     bm = TracingBlockmodel.from_assignment(
-        graph, start_assignment(graph), START_BLOCKS
+        graph, start_assignment(graph), START_BLOCKS,
+        storage=config.block_storage,
     )
     backend = get_backend(config.backend)
     try:

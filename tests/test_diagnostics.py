@@ -17,6 +17,8 @@ def _trace(deltas, accepts, serial=None, parallel=None, moved=None):
         serial_work=np.asarray(serial if serial is not None else [0.0] * n),
         parallel_work=np.asarray(parallel if parallel is not None else [1.0] * n),
         barrier_moved=np.asarray(moved if moved is not None else [0.0] * n),
+        b_nnz=np.asarray([0.0] * n),
+        b_density=np.asarray([0.0] * n),
     )
 
 
@@ -48,6 +50,7 @@ class TestSweepTrace:
         assert set(summary) == {
             "sweeps", "total_improvement", "mean_acceptance",
             "acceptance_decay", "parallel_fraction", "mean_barrier_moved",
+            "mean_b_density",
         }
 
 
@@ -71,3 +74,7 @@ class TestTraceFromResult:
         assert trace.parallel_fraction > 0.3
         assert 0.0 <= trace.acceptance_rate.min()
         assert trace.acceptance_rate.max() <= 1.0
+        # Matrix gauges: every recorded sweep saw a live blockmodel.
+        assert trace.b_nnz.min() > 0
+        assert 0.0 < trace.b_density.min() <= 1.0
+        assert trace.summary()["mean_b_density"] > 0.0
