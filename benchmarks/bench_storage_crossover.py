@@ -1,23 +1,29 @@
-"""Storage crossover: dense vs sparse block-matrix engines across C.
+"""Storage crossover: dense vs sparse vs hybrid engines across C.
 
 The agglomerative schedule starts with many blocks (B very sparse: at
 C = O(V) only ~E of the C^2 cells are occupied) and ends with few (B
-effectively dense). The two ``--block-storage`` engines trade costs
-along that path; this bench measures, at E = 8C planted edges per size:
+effectively dense). The ``--block-storage`` engines trade costs along
+that path; this bench measures, at E = 8C planted edges per size:
 
 * **rebuild** — ``from_edges`` (the per-sweep barrier reconstruction),
 * **sweep**   — a barrier ``scatter_edges`` burst plus a proposal-read
   mix (``sym_row_cdf`` + ``row_gather``), the hot per-sweep ops,
 * **merge scan** — ``merge_delta_batch`` over every block (the
   nonzero-triplet walk the vectorized merge backend runs),
-* **memory** — live ``memory_bytes()`` of each engine,
+* **memory** — live ``memory_bytes()`` of each engine; for hybrid both
+  cold (fresh) and warm (after a sweep burst populated the LRU line
+  caches and journal — the steady-state footprint),
 
-and asserts both engines stay cell-for-cell equal per size. The
-crossover C where sparse starts winning each column is recorded in
-``BENCH_storage_crossover.json`` and discussed in DESIGN.md §5.
+and asserts all engines stay cell-for-cell equal per size. Every row
+records whether the ``repro.sbm.kernels`` dispatch selected numba jits
+(``jit: true``) or the numpy fallbacks, so checked-in entries are
+comparable across environments. The crossover C where each engine
+starts winning is recorded in ``BENCH_storage_crossover.json`` and
+discussed in DESIGN.md §5.
 
 Run ``python benchmarks/bench_storage_crossover.py`` (full: C up to
-8192) or ``--quick`` (CI smoke: C up to 1024, fewer repetitions).
+8192, enforces the PR-6 acceptance bounds) or ``--quick`` (CI smoke:
+C up to 1024, fewer repetitions, no bounds).
 """
 
 from __future__ import annotations
@@ -30,7 +36,12 @@ import numpy as np
 
 from repro.bench.reporting import format_table, write_report
 from repro.graph.graph import Graph
-from repro.sbm.block_storage import DenseBlockState, SparseBlockState
+from repro.sbm import kernels
+from repro.sbm.block_storage import (
+    DenseBlockState,
+    HybridBlockState,
+    SparseBlockState,
+)
 from repro.sbm.blockmodel import Blockmodel
 from repro.sbm.delta import merge_delta_batch
 
@@ -96,16 +107,25 @@ def crossover_rows(sizes: list[int], reps: int) -> list[dict]:
 
         dense = DenseBlockState.from_edges(src, dst, C)
         sparse = SparseBlockState.from_edges(src, dst, C)
+        hybrid = HybridBlockState.from_edges(src, dst, C)
         assert sparse.equals_dense(dense.to_dense()), f"engines diverge at C={C}"
+        assert np.array_equal(hybrid.to_dense(), dense.to_dense()), (
+            f"hybrid diverges at C={C}"
+        )
+        row["jit"] = kernels.jit_enabled()
         row["density"] = round(dense.density, 4)
         row["dense_bytes"] = dense.memory_bytes()
         row["sparse_bytes"] = sparse.memory_bytes()
+        row["hybrid_bytes"] = hybrid.memory_bytes()  # cold: empty caches
 
         row["dense_rebuild_s"] = _time(
             partial(DenseBlockState.from_edges, src, dst, C), reps
         )
         row["sparse_rebuild_s"] = _time(
             partial(SparseBlockState.from_edges, src, dst, C), reps
+        )
+        row["hybrid_rebuild_s"] = _time(
+            partial(HybridBlockState.from_edges, src, dst, C), reps
         )
 
         sweep_rng = np.random.default_rng(SEED + 1)
@@ -116,21 +136,37 @@ def crossover_rows(sizes: list[int], reps: int) -> list[dict]:
         row["sparse_sweep_s"] = _time(
             partial(_sweep_burst, sparse, src, dst, sweep_rng), reps
         )
+        sweep_rng = np.random.default_rng(SEED + 1)
+        row["hybrid_sweep_s"] = _time(
+            partial(_sweep_burst, hybrid, src, dst, sweep_rng), reps
+        )
+        # Warm footprint: line caches + journal as a sweep leaves them.
+        row["hybrid_warm_bytes"] = hybrid.memory_bytes()
         assert sparse.equals_dense(dense.to_dense()), f"sweep diverged at C={C}"
+        assert np.array_equal(hybrid.to_dense(), dense.to_dense()), (
+            f"hybrid sweep diverged at C={C}"
+        )
 
         blocks = np.arange(C, dtype=np.int64)
         targets = np.roll(blocks, 1)
         bm_dense = _merge_scan_bm(C, src, dst, "dense")
         bm_sparse = _merge_scan_bm(C, src, dst, "sparse")
+        bm_hybrid = _merge_scan_bm(C, src, dst, "hybrid")
         row["dense_scan_s"] = _time(
             partial(merge_delta_batch, bm_dense, blocks, targets), reps
         )
         row["sparse_scan_s"] = _time(
             partial(merge_delta_batch, bm_sparse, blocks, targets), reps
         )
+        row["hybrid_scan_s"] = _time(
+            partial(merge_delta_batch, bm_hybrid, blocks, targets), reps
+        )
         scan_d = merge_delta_batch(bm_dense, blocks, targets)
-        scan_s = merge_delta_batch(bm_sparse, blocks, targets)
-        assert np.array_equal(scan_d, scan_s), f"scan deltas diverge at C={C}"
+        for name, bm in (("sparse", bm_sparse), ("hybrid", bm_hybrid)):
+            scan_x = merge_delta_batch(bm, blocks, targets)
+            assert np.array_equal(scan_d, scan_x), (
+                f"{name} scan deltas diverge at C={C}"
+            )
         rows.append(row)
     return rows
 
@@ -142,17 +178,21 @@ def render(rows: list[dict]) -> str:
             "density": r["density"],
             "dense_MiB": round(r["dense_bytes"] / 2**20, 2),
             "sparse_MiB": round(r["sparse_bytes"] / 2**20, 2),
-            "rebuild_dense_ms": round(r["dense_rebuild_s"] * 1e3, 2),
-            "rebuild_sparse_ms": round(r["sparse_rebuild_s"] * 1e3, 2),
+            "hybrid_warm_MiB": round(r["hybrid_warm_bytes"] / 2**20, 2),
             "sweep_dense_ms": round(r["dense_sweep_s"] * 1e3, 2),
             "sweep_sparse_ms": round(r["sparse_sweep_s"] * 1e3, 2),
+            "sweep_hybrid_ms": round(r["hybrid_sweep_s"] * 1e3, 2),
+            "rebuild_dense_ms": round(r["dense_rebuild_s"] * 1e3, 2),
+            "rebuild_sparse_ms": round(r["sparse_rebuild_s"] * 1e3, 2),
             "scan_dense_ms": round(r["dense_scan_s"] * 1e3, 2),
             "scan_sparse_ms": round(r["sparse_scan_s"] * 1e3, 2),
         }
         for r in rows
     ]
+    jit = "numba jits" if rows and rows[0]["jit"] else "numpy kernels"
     return format_table(
-        table, title="dense vs sparse block storage across C (E = 8C)"
+        table,
+        title=f"dense vs sparse vs hybrid storage across C (E = 8C, {jit})",
     )
 
 
@@ -177,6 +217,23 @@ def main(argv: list[str] | None = None) -> int:
         f"sparse engine lost on memory at C={largest['C']}: "
         f"{largest['sparse_bytes']} >= {largest['dense_bytes']} bytes"
     )
+    if not args.quick:
+        # PR-6 acceptance bounds (full mode only — --quick runs a single
+        # repetition and its timings are too noisy to gate on).
+        for r in rows:
+            bound = 1.5 * r["dense_sweep_s"]
+            assert r["hybrid_sweep_s"] <= bound, (
+                f"hybrid sweep burst too slow at C={r['C']}: "
+                f"{r['hybrid_sweep_s']:.5f}s > 1.5 x dense "
+                f"{r['dense_sweep_s']:.5f}s"
+            )
+            if r["C"] >= 4096:
+                cap = 0.25 * r["dense_bytes"]
+                assert r["hybrid_warm_bytes"] <= cap, (
+                    f"hybrid warm footprint too big at C={r['C']}: "
+                    f"{r['hybrid_warm_bytes']} > 25% of dense "
+                    f"{r['dense_bytes']} bytes"
+                )
     return 0
 
 

@@ -92,10 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sweep-barrier engine: O(E) full recount or "
                              "O(deg(moved)) delta-apply (bit-identical results)")
     detect.add_argument("--block-storage", default="dense",
-                        choices=available_block_storages(),
-                        help="inter-block matrix engine: dense C x C arrays "
-                             "or per-row sparse arrays (bit-identical "
-                             "results; memory/time trade-off)")
+                        choices=[*available_block_storages(), "auto"],
+                        help="inter-block matrix engine: dense C x C arrays, "
+                             "per-row sparse arrays, or the hybrid cached "
+                             "engine (bit-identical results; memory/time "
+                             "trade-off); 'auto' picks dense/hybrid from the "
+                             "graph size and memory budget")
     detect.add_argument("--time-budget", type=float, default=None,
                         metavar="SECONDS",
                         help="wall-clock budget for the whole detect; past it "
@@ -357,8 +359,12 @@ def _cmd_registry(args: argparse.Namespace) -> int:
         (
             "block storages (--block-storage)",
             {
-                n: _first_doc_line(get_block_storage(n))
-                for n in available_block_storages()
+                **{
+                    n: _first_doc_line(get_block_storage(n))
+                    for n in available_block_storages()
+                },
+                "auto": "Policy, not an engine: picks dense/hybrid from "
+                        "(C, density, memory budget) at run start.",
             },
         ),
     ]

@@ -36,6 +36,9 @@ class SBPResult:
     sweep_stats: list[SweepStats] = field(default_factory=list, repr=False)
     #: golden-section trace: (num_blocks, mdl) per agglomerative iteration
     search_history: list[tuple[int, float]] = field(default_factory=list, repr=False)
+    #: the concrete storage engine the run used — records what the
+    #: ``auto`` policy resolved to (empty on legacy archives).
+    block_storage: str = ""
 
     @property
     def mcmc_seconds(self) -> float:
@@ -60,6 +63,7 @@ class SBPResult:
             "sweeps": self.mcmc_sweeps,
             "converged": self.converged,
             "interrupted": self.interrupted,
+            "storage": self.block_storage,
         }
 
 

@@ -32,6 +32,7 @@ from repro.parallel.backend import ExecutionBackend, get_backend
 from repro.resilience.audit import InvariantAuditor
 from repro.resilience.checkpoint import RunCheckpoint, RunCheckpointer, config_digest
 from repro.resilience.interrupt import StopGuard
+from repro.sbm.block_storage import resolve_block_storage
 from repro.sbm.blockmodel import Blockmodel
 from repro.sbm.entropy import normalized_description_length
 from repro.types import PhaseTimings, SweepStats
@@ -84,6 +85,7 @@ def run_sbp(
     """
     if config is None:
         config = SBPConfig()
+    config = _resolve_storage_policy(graph, config)
     backend = get_backend(config.backend, **config.backend_options)
     timers = StopwatchPool()
     search = GoldenSectionSearch(
@@ -232,7 +234,26 @@ def run_sbp(
         interrupted=interrupted,
         sweep_stats=all_stats if config.record_work else [],
         search_history=search_history,
+        block_storage=config.block_storage,
     )
+
+
+def _resolve_storage_policy(graph: Graph, config: SBPConfig) -> SBPConfig:
+    """Resolve ``block_storage="auto"`` to a concrete engine for ``graph``.
+
+    Must run before any :func:`config_digest` evaluation: the digest
+    then records the *decision* (a pure function of V, E and the budget
+    env), so checkpoints written under ``auto`` resume interchangeably
+    with the equivalent explicit config and refuse a genuinely different
+    engine.
+    """
+    resolved, reason = resolve_block_storage(
+        config.block_storage, graph.num_vertices, graph.num_edges
+    )
+    if resolved != config.block_storage:
+        _log.info("block_storage=auto -> %r (%s)", resolved, reason)
+        config = config.replace(block_storage=resolved)
+    return config
 
 
 def _snapshot(
@@ -278,6 +299,9 @@ def run_best_of(
         raise ValueError(f"runs must be >= 1, got {runs}")
     if config is None:
         config = SBPConfig()
+    # Resolve the auto storage policy once, up front, so the per-member
+    # digests below match what run_sbp computes for the same member.
+    config = _resolve_storage_policy(graph, config)
     seeds = spawn_seeds(config.seed, runs)
     deadline = (
         time.monotonic() + config.time_budget

@@ -81,9 +81,14 @@ class SBPConfig:
     block_storage:
         Inter-block matrix storage engine from the
         :mod:`repro.sbm.block_storage` registry: 'dense' (contiguous
-        C x C int64, the oracle) or 'sparse' (per-row non-zero arrays,
-        O(nnz) memory). Trajectories are bit-identical; only memory
-        and wall-clock differ.
+        C x C int64, the oracle), 'sparse' (per-row non-zero arrays,
+        O(nnz) memory) or 'hybrid' (LRU dense line cache + write-behind
+        journal over a sparse backing). Trajectories are bit-identical;
+        only memory and wall-clock differ. 'auto' defers the choice to
+        :func:`~repro.sbm.block_storage.resolve_block_storage`, which
+        picks dense/hybrid from (C, density, memory budget) at run
+        start — before checkpoint digests are computed, so the digest
+        records the decision.
     seed:
         Master seed; every random draw in the run derives from it.
     record_work:
@@ -163,12 +168,18 @@ class SBPConfig:
                 f"got {self.update_strategy!r}"
             )
         # Validated against the registry so in-test/plugin engines are
-        # accepted; imported lazily (leaf module, no cycle risk).
-        from repro.sbm.block_storage import available_block_storages
+        # accepted; imported lazily (leaf module, no cycle risk). The
+        # "auto" policy name is legal here and resolved to a concrete
+        # engine at run entry (it needs the graph's size).
+        from repro.sbm.block_storage import AUTO_STORAGE, available_block_storages
 
-        if self.block_storage not in available_block_storages():
+        if (
+            self.block_storage != AUTO_STORAGE
+            and self.block_storage not in available_block_storages()
+        ):
             raise ValueError(
-                f"block_storage must be one of {available_block_storages()}, "
+                "block_storage must be one of "
+                f"{available_block_storages() + [AUTO_STORAGE]}, "
                 f"got {self.block_storage!r}"
             )
 

@@ -44,8 +44,9 @@ __all__ = [
 ]
 
 #: v3 added the memory gauges (peak_rss_bytes, b_nnz, b_density) to the
-#: timings block; older files load them back as zero.
-_RESULT_FORMAT_VERSION = 3
+#: timings block; v4 the resolved ``block_storage`` engine name. Older
+#: files load the absent fields back as zero / empty.
+_RESULT_FORMAT_VERSION = 4
 
 
 @contextmanager
@@ -133,6 +134,7 @@ def save_result(result: SBPResult, path: str | os.PathLike[str]) -> None:
         "seed": result.seed,
         "converged": result.converged,
         "interrupted": result.interrupted,
+        "block_storage": result.block_storage,
     }
     with atomic_write(path) as fh:
         json.dump(payload, fh, indent=2)
@@ -173,6 +175,7 @@ def load_result(path: str | os.PathLike[str]) -> SBPResult:
             seed=int(payload["seed"]),
             converged=bool(payload["converged"]),
             interrupted=bool(payload.get("interrupted", False)),  # absent in v1
+            block_storage=str(payload.get("block_storage", "")),  # v4
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"{path}: malformed result field ({exc!r})") from exc

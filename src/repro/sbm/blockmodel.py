@@ -26,15 +26,31 @@ import numpy as np
 
 from repro.errors import BlockmodelError
 from repro.graph.graph import Graph
-from repro.sbm.block_storage import BlockState, DenseBlockState, get_block_storage
+from repro.sbm.block_storage import (
+    AUTO_STORAGE,
+    BlockState,
+    DenseBlockState,
+    get_block_storage,
+    resolve_block_storage,
+)
 from repro.sbm.entropy import description_length
 from repro.types import Assignment, IntArray
 
 __all__ = ["Blockmodel"]
 
 
-def _resolve_storage(storage: str | type[BlockState]) -> type[BlockState]:
+def _resolve_storage(
+    storage: str | type[BlockState], graph: Graph | None = None
+) -> type[BlockState]:
     if isinstance(storage, str):
+        if storage == AUTO_STORAGE:
+            if graph is None:
+                raise BlockmodelError(
+                    "storage='auto' needs a graph to resolve against"
+                )
+            storage, _ = resolve_block_storage(
+                storage, graph.num_vertices, graph.num_edges
+            )
         return get_block_storage(storage)
     return storage
 
@@ -118,7 +134,7 @@ class Blockmodel:
         if assignment.size and (assignment.min() < 0 or assignment.max() >= num_blocks):
             raise BlockmodelError("assignment values must lie in [0, num_blocks)")
         state = _count_block_edges_state(
-            graph, assignment, num_blocks, _resolve_storage(storage)
+            graph, assignment, num_blocks, _resolve_storage(storage, graph)
         )
         d_out = state.row_sums()
         d_in = state.col_sums()

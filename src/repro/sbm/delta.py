@@ -31,9 +31,20 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.sbm.blockmodel import Blockmodel
-from repro.sbm.entropy import xlogx_counts as _g
 from repro.types import FloatArray, IntArray
 from repro.utils.arrays import expand_ranges
+
+# The x log x kernels and the strictly left-to-right reduction live in
+# repro.sbm.kernels now: `_g` vectorized over count arrays, `_g_scalar`
+# for corner/degree cells, `_seq_sum` as the cumsum-discipline float sum
+# (pairwise np.sum rounds differently from the sequential accumulation
+# the vectorized backend uses, so the reduction order is part of the
+# bit-identity contract). With jit off every name is the pre-existing
+# numpy expression; the jitted versions only engage after a bitwise
+# parity probe.
+from repro.sbm.kernels import seq_sum as _seq_sum
+from repro.sbm.kernels import xlogx_counts as _g
+from repro.sbm.kernels import xlogx_scalar as _g_scalar
 
 __all__ = [
     "VertexMoveContext",
@@ -43,23 +54,6 @@ __all__ = [
     "merge_delta",
     "merge_delta_batch",
 ]
-
-
-def _g_scalar(x: float) -> float:
-    return 0.0 if x <= 0 else float(x * np.log(x))
-
-
-def _seq_sum(terms: np.ndarray) -> float:
-    """Strictly left-to-right float sum.
-
-    ``np.sum`` uses pairwise summation, whose rounding differs from the
-    sequential ``np.add.at`` accumulation the vectorized backend uses.
-    Summing via ``cumsum`` keeps the serial and batch paths bit-identical
-    so backend-equivalence tests can compare decisions exactly.
-    """
-    if terms.size == 0:
-        return 0.0
-    return float(np.cumsum(terms)[-1])
 
 
 @dataclass
@@ -167,14 +161,14 @@ def vertex_move_delta(bm: Blockmodel, ctx: VertexMoveContext, s: int) -> float:
 
     # Degree terms: L subtracts g(d_out) and g(d_in), so dL gets -(delta g(d)).
     delta_deg = (
-        _g_scalar(bm.d_out[r] - ctx.deg_out)
-        - _g_scalar(bm.d_out[r])
-        + _g_scalar(bm.d_out[s] + ctx.deg_out)
-        - _g_scalar(bm.d_out[s])
-        + _g_scalar(bm.d_in[r] - ctx.deg_in)
-        - _g_scalar(bm.d_in[r])
-        + _g_scalar(bm.d_in[s] + ctx.deg_in)
-        - _g_scalar(bm.d_in[s])
+        _g_scalar(float(bm.d_out[r] - ctx.deg_out))
+        - _g_scalar(float(bm.d_out[r]))
+        + _g_scalar(float(bm.d_out[s] + ctx.deg_out))
+        - _g_scalar(float(bm.d_out[s]))
+        + _g_scalar(float(bm.d_in[r] - ctx.deg_in))
+        - _g_scalar(float(bm.d_in[r]))
+        + _g_scalar(float(bm.d_in[s] + ctx.deg_in))
+        - _g_scalar(float(bm.d_in[s]))
     )
 
     delta_likelihood = delta_g - delta_deg

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.parallel.backend import SweepUpdater, register_update_strategy
+from repro.sbm import kernels as _K
 from repro.sbm.block_storage import RowCDF
 from repro.sbm.blockmodel import Blockmodel
 from repro.types import IntArray
@@ -121,13 +122,13 @@ def apply_sweep_delta(
 
     deg_out = graph.out_degree[moved_vertices]
     deg_in = graph.in_degree[moved_vertices]
-    np.subtract.at(bm.d_out, old_blocks, deg_out)
-    np.add.at(bm.d_out, moved_targets, deg_out)
-    np.subtract.at(bm.d_in, old_blocks, deg_in)
-    np.add.at(bm.d_in, moved_targets, deg_in)
+    _K.index_sub(bm.d_out, old_blocks, deg_out)
+    _K.index_add(bm.d_out, moved_targets, deg_out)
+    _K.index_sub(bm.d_in, old_blocks, deg_in)
+    _K.index_add(bm.d_in, moved_targets, deg_in)
     deg = deg_out + deg_in
-    np.subtract.at(bm.d, old_blocks, deg)
-    np.add.at(bm.d, moved_targets, deg)
+    _K.index_sub(bm.d, old_blocks, deg)
+    _K.index_add(bm.d, moved_targets, deg)
 
 
 class ProposalCache:
@@ -140,23 +141,56 @@ class ProposalCache:
     dirties precisely the blocks whose symmetrized row contains a
     changed cell: ``{r, s}`` (their full row/column changed) plus the
     mover's neighbour blocks ``t_out ∪ t_in`` (cells ``(r|s, t)`` and
-    ``(t, r|s)`` changed); :meth:`invalidate_move` drops those entries
-    in O(degree).
+    ``(t, r|s)`` changed).
+
+    Two invalidation protocols, chosen per storage engine:
+
+    * **eager dirty-set** (dense, sparse): :meth:`invalidate_move` drops
+      the ``{r, s} ∪ t_out ∪ t_in`` entries in O(degree).
+    * **lazy row-granular** (engines with
+      ``tracks_line_versions = True``, i.e. hybrid): entries carry the
+      block's line version at build time and :meth:`row_cdf` revalidates
+      on access, so :meth:`invalidate_move` is a no-op and a CDF is only
+      rebuilt when *that block's* row or column was actually written —
+      strictly fewer rebuilds than the dirty set, with identical arrays
+      (staleness is impossible: the engine bumps the version inside
+      every write).
     """
 
-    __slots__ = ("_bm", "_cdfs", "hits", "misses")
+    __slots__ = ("_bm", "_cdfs", "_versioned", "_state", "hits", "misses")
 
     def __init__(self, bm: Blockmodel) -> None:
         self._bm = bm
-        self._cdfs: dict[int, RowCDF] = {}
+        self._versioned = bool(
+            getattr(bm.state, "tracks_line_versions", False)
+        )
+        self._state = bm.state
+        # block -> RowCDF (eager) or block -> (version, RowCDF) (lazy).
+        self._cdfs: dict[int, object] = {}
         self.hits = 0
         self.misses = 0
 
     def row_cdf(self, u: int) -> RowCDF:
+        state = self._bm.state
+        if self._versioned:
+            if state is not self._state:
+                # A rebuild/compact swapped the state object; its version
+                # counters restarted, so every stamp is meaningless.
+                self._cdfs.clear()
+                self._state = state
+            version = state.line_version(u)
+            entry = self._cdfs.get(u)
+            if entry is not None and entry[0] == version:
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
+            cdf = state.sym_row_cdf(u)
+            self._cdfs[u] = (version, cdf)
+            return cdf
         cdf = self._cdfs.get(u)
         if cdf is None:
             self.misses += 1
-            cdf = self._bm.state.sym_row_cdf(u)
+            cdf = state.sym_row_cdf(u)
             self._cdfs[u] = cdf
         else:
             self.hits += 1
@@ -169,7 +203,12 @@ class ProposalCache:
             pop(int(b), None)
 
     def invalidate_move(self, r: int, s: int, t_out: IntArray, t_in: IntArray) -> None:
-        """Dirty-set invalidation for an applied move r → s."""
+        """Dirty-set invalidation for an applied move r → s.
+
+        No-op under the lazy protocol: version stamps subsume it.
+        """
+        if self._versioned:
+            return
         pop = self._cdfs.pop
         pop(int(r), None)
         pop(int(s), None)

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.sbm.blockmodel import Blockmodel
+from repro.sbm.kernels import cdf_index
 
 __all__ = [
     "propose_vertex_move",
@@ -217,7 +218,7 @@ def _cdf_draw(cdf: np.ndarray, uniform: float, fallback: int) -> int:
     if total <= 0:
         return fallback
     draw = min(int(uniform * total), total - 1)
-    return int(np.searchsorted(cdf, draw, side="right"))
+    return int(cdf_index(cdf, draw))
 
 
 def _uniform_other(C: int, r: int, uniform: float) -> int:

@@ -1,14 +1,15 @@
 """Block-storage engines: unit contract + recorded-trace replay.
 
-Two layers of evidence that ``dense`` and ``sparse`` are interchangeable:
+Two layers of evidence that ``dense``, ``sparse`` and ``hybrid`` are
+interchangeable:
 
 * **Contract tests** exercise every :class:`BlockState` operation on
   small hand-built matrices (self-loops, empty blocks, zero rows) and
-  compare both engines cell-for-cell against a plain ndarray reference.
+  compare every engine cell-for-cell against a plain ndarray reference.
 * **Recorded traces** register a ``recording`` engine (a dense subclass
   that logs every mutation) and drive *real* phase code — an MCMC phase
   via the sweep engine and a block-merge phase — then replay the logged
-  op sequence against fresh dense and sparse states, asserting byte-equal
+  op sequence against fresh states of every engine, asserting byte-equal
   dense views after **every** op. Replay catches ordering/aliasing bugs
   a final-state comparison would miss.
 """
@@ -26,6 +27,7 @@ from repro.parallel.backend import get_backend
 from repro.sbm.block_storage import (
     BlockState,
     DenseBlockState,
+    HybridBlockState,
     RowCDF,
     SparseBlockState,
     available_block_storages,
@@ -34,7 +36,7 @@ from repro.sbm.block_storage import (
 )
 from repro.utils.timer import StopwatchPool
 
-ENGINES = (DenseBlockState, SparseBlockState)
+ENGINES = (DenseBlockState, SparseBlockState, HybridBlockState)
 
 
 def _ref_matrix() -> np.ndarray:
@@ -242,7 +244,7 @@ class TestSparseSpecifics:
 class TestRegistry:
     def test_builtins_listed(self):
         names = available_block_storages()
-        assert "dense" in names and "sparse" in names
+        assert "dense" in names and "sparse" in names and "hybrid" in names
 
     def test_get_unknown_raises(self):
         with pytest.raises(BackendError, match="unknown"):
@@ -318,20 +320,26 @@ def _replay(ops, start: np.ndarray, engine) -> BlockState:
 
 
 def _replay_pair(ops, start: np.ndarray) -> None:
-    """Replay against both engines, asserting equality after every op."""
+    """Replay against every engine, asserting equality after every op."""
     dense = DenseBlockState.from_dense(start)
-    sparse = SparseBlockState.from_dense(start)
+    others = [
+        SparseBlockState.from_dense(start),
+        HybridBlockState.from_dense(start),
+    ]
     for i, (op, payload) in enumerate(ops):
         if op == "compact":
             dense = dense.compact(*payload)
-            sparse = sparse.compact(*payload)
+            others = [o.compact(*payload) for o in others]
         else:
             getattr(dense, op)(*payload)
-            getattr(sparse, op)(*payload)
-        assert_array_equal(
-            sparse.to_dense(), dense.to_dense(),
-            err_msg=f"engines diverged at op {i} ({op})",
-        )
+            for other in others:
+                getattr(other, op)(*payload)
+        expect = dense.to_dense()
+        for other in others:
+            assert_array_equal(
+                other.to_dense(), expect,
+                err_msg=f"{other.name} diverged from dense at op {i} ({op})",
+            )
 
 
 @pytest.fixture(scope="module")

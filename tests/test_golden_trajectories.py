@@ -75,40 +75,47 @@ def test_full_run_matches_golden(fixture, graph, combo):
 
 
 # ----------------------------------------------------------------------
-# Sparse storage against the *dense-era* fixture: the sparse engine is
-# only admissible because it replays the exact same chains, so it is
-# held to the same golden keys — no sparse re-capture, no second truth.
+# Alternative storage engines against the *dense-era* fixture: sparse
+# and hybrid are only admissible because they replay the exact same
+# chains, so both are held to the same golden keys — no per-engine
+# re-capture, no second truth.
 # ----------------------------------------------------------------------
 
+_STORAGES = ("sparse", "hybrid")
 
+
+@pytest.mark.parametrize("storage", _STORAGES)
 @pytest.mark.parametrize("combo", _MATRIX, ids=_ids)
-def test_phase_trajectory_matches_golden_sparse(fixture, graph, combo):
+def test_phase_trajectory_matches_golden_storage(
+    fixture, graph, combo, storage
+):
     variant, strategy, backend, seed = combo
     key = gu.combo_key(*combo)
     assignments, mdls = gu.trace_phase(
-        graph, variant, strategy, backend, seed, block_storage="sparse"
+        graph, variant, strategy, backend, seed, block_storage=storage
     )
     assert_array_equal(
         assignments,
         fixture[f"phase/{key}/assignments"],
-        err_msg=f"sparse storage drifted the assignment trajectory for {key}",
+        err_msg=f"{storage} storage drifted the assignment trajectory for {key}",
     )
     assert_array_equal(
         mdls,
         fixture[f"phase/{key}/mdl"],
-        err_msg=f"sparse storage drifted the MDL sequence for {key}",
+        err_msg=f"{storage} storage drifted the MDL sequence for {key}",
     )
 
 
+@pytest.mark.parametrize("storage", _STORAGES)
 @pytest.mark.parametrize("combo", _MATRIX, ids=_ids)
-def test_full_run_matches_golden_sparse(fixture, graph, combo):
+def test_full_run_matches_golden_storage(fixture, graph, combo, storage):
     variant, strategy, backend, seed = combo
     key = gu.combo_key(*combo)
     result = gu.run_full(graph, variant, strategy, backend, seed,
-                         block_storage="sparse")
+                         block_storage=storage)
     for name, live in result.items():
         assert_array_equal(
             live,
             fixture[f"full/{key}/{name}"],
-            err_msg=f"sparse run_sbp {name} drifted for {key}",
+            err_msg=f"{storage} run_sbp {name} drifted for {key}",
         )

@@ -1,0 +1,399 @@
+"""Hybrid-engine internals: LRU eviction, write-behind journal, policy.
+
+The equivalence matrices (``test_block_storage.py``,
+``test_storage_equivalence.py``) prove the hybrid engine replays dense
+chains end-to-end; this module attacks the machinery those matrices can
+miss by luck — evictions racing journaled writes, deferred audits,
+memory accounting, the row-granular :class:`ProposalCache` protocol and
+the ``auto`` storage policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from numpy.testing import assert_array_equal
+
+from repro import SBPConfig, run_sbp
+from repro.errors import BlockmodelError
+from repro.resilience.checkpoint import RunCheckpointer, config_digest
+from repro.sbm.block_storage import (
+    AUTO_STORAGE,
+    STORAGE_BUDGET_ENV,
+    DenseBlockState,
+    HybridBlockState,
+    SparseBlockState,
+    resolve_block_storage,
+)
+from repro.sbm.blockmodel import Blockmodel
+from repro.sbm.incremental import ProposalCache
+
+
+def _ref_matrix(C: int = 8, seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    B = rng.integers(0, 5, size=(C, C)).astype(np.int64)
+    B[rng.random((C, C)) < 0.4] = 0
+    return B
+
+
+def _tiny_hybrid(C: int = 8, cache_lines: int = 2, seed: int = 3):
+    """A hybrid state with an adversarially small cache + its dense twin."""
+    ref = _ref_matrix(C, seed)
+    state = HybridBlockState(SparseBlockState.from_dense(ref), cache_lines)
+    return state, DenseBlockState.from_dense(ref)
+
+
+class TestLRUEviction:
+    def test_default_cache_budget(self):
+        state = HybridBlockState(SparseBlockState.from_dense(_ref_matrix()))
+        assert state.cache_lines == 8  # min(max(256, C // 16), C): capped at C
+        src = np.asarray([0], dtype=np.int64)
+        dst = np.asarray([1], dtype=np.int64)
+        mid = HybridBlockState.from_edges(src, dst, 4096)
+        assert mid.cache_lines == 256  # the floor
+        big = HybridBlockState.from_edges(src, dst, 8192)
+        assert big.cache_lines == 512  # C // 16
+
+    def test_evict_then_reread_equals_fresh_gather(self):
+        """An evicted line that had journaled writes re-reads correctly.
+
+        The journal chunk for the evicted line must survive the eviction
+        (only the materialized array is dropped) and be replayed on the
+        next materialization.
+        """
+        state, dense = _tiny_hybrid(cache_lines=2)
+        # Materialize rows 0 and 1, then journal a write into row 0.
+        state.dense_row(0)
+        state.dense_row(1)
+        src = np.asarray([0], dtype=np.int64)
+        dst = np.asarray([3], dtype=np.int64)
+        state.scatter_edges(src, dst, src, np.asarray([5], dtype=np.int64))
+        dense.scatter_edges(src, dst, src, np.asarray([5], dtype=np.int64))
+        # Churn the cache so row 0 (oldest) is evicted, then re-read it.
+        state.dense_row(2)
+        state.dense_row(3)
+        assert 0 not in state._row_lru
+        assert state._pending > 0  # no flush happened along the way
+        assert_array_equal(state.dense_row(0), dense.dense_row(0))
+        assert_array_equal(
+            state.row_gather(0, np.arange(8)), dense.dense_row(0)
+        )
+
+    def test_write_through_during_pending_eviction(self):
+        """Writes landing while the cache is full stay coherent.
+
+        A batch touching both cached lines (write-through) and the line
+        about to evict them (miss → materialize → evict) must leave
+        every read equal to the dense oracle.
+        """
+        state, dense = _tiny_hybrid(cache_lines=2)
+        state.dense_row(0)
+        state.dense_row(1)  # cache full: {0, 1}
+        old_src = np.asarray([0, 1, 2], dtype=np.int64)
+        old_dst = np.asarray([1, 2, 3], dtype=np.int64)
+        new_src = np.asarray([0, 1, 2], dtype=np.int64)
+        new_dst = np.asarray([4, 5, 6], dtype=np.int64)
+        state.scatter_edges(old_src, old_dst, new_src, new_dst)
+        dense.scatter_edges(old_src, old_dst, new_src, new_dst)
+        # Touching row 2 evicts row 0 *after* the write-through landed.
+        assert_array_equal(state.dense_row(2), dense.dense_row(2))
+        assert 0 not in state._row_lru
+        for r in range(8):
+            assert_array_equal(state.dense_row(r), dense.dense_row(r))
+            assert_array_equal(state.dense_col(r), dense.dense_col(r))
+
+    def test_adversarial_access_fuzz(self):
+        """Fixed-seed op soup on a 2-line cache stays byte-equal to dense."""
+        C = 12
+        rng = np.random.default_rng(20240807)
+        ref = rng.integers(0, 6, size=(C, C)).astype(np.int64)
+        state = HybridBlockState(SparseBlockState.from_dense(ref), 2)
+        dense = DenseBlockState.from_dense(ref)
+        for step in range(300):
+            op = rng.integers(0, 5)
+            if op == 0:  # move an edge endpoint between live cells
+                r, c = (int(x) for x in rng.integers(0, C, 2))
+                row = dense.dense_row(r)
+                if row.sum() == 0:
+                    continue
+                old_c = int(rng.choice(np.nonzero(row)[0]))
+                args = (
+                    np.asarray([r], dtype=np.int64),
+                    np.asarray([old_c], dtype=np.int64),
+                    np.asarray([r], dtype=np.int64),
+                    np.asarray([c], dtype=np.int64),
+                )
+                state.scatter_edges(*args)
+                dense.scatter_edges(*args)
+            elif op == 1:
+                u = int(rng.integers(0, C))
+                assert_array_equal(
+                    state.sym_row_cdf(u).cdf,
+                    dense.sym_row_cdf(u).cdf,
+                    err_msg=f"sym_row_cdf({u}) diverged at step {step}",
+                )
+            elif op == 2:
+                r = int(rng.integers(0, C))
+                assert_array_equal(state.dense_row(r), dense.dense_row(r))
+            elif op == 3:
+                c = int(rng.integers(0, C))
+                assert_array_equal(state.dense_col(c), dense.dense_col(c))
+            else:
+                r, c = (int(x) for x in rng.integers(0, C, 2))
+                assert state.get(r, c) == dense.get(r, c)
+        assert_array_equal(state.to_dense(), dense.to_dense())
+
+
+class TestJournal:
+    def test_threshold_triggers_flush(self):
+        state, dense = _tiny_hybrid()
+        state._flush_threshold = 4  # shrink for the test
+        empty = np.empty(0, dtype=np.int64)
+        src = np.asarray([0, 1], dtype=np.int64)
+        dst = np.asarray([3, 4], dtype=np.int64)
+        state.scatter_edges(empty, empty, src, dst)  # 2 pending, no flush
+        dense.scatter_edges(empty, empty, src, dst)
+        assert state._pending == 2
+        new_dst = np.asarray([5, 6], dtype=np.int64)
+        state.scatter_edges(src, dst, src, new_dst)  # 4 entries -> flush
+        dense.scatter_edges(src, dst, src, new_dst)
+        assert state._pending == 0
+        assert not state._jrow and not state._jcol
+        # The backing saw the deltas without any whole-matrix read.
+        assert_array_equal(state._backing.to_dense(), dense.to_dense())
+
+    def test_reads_never_flush(self):
+        state, _ = _tiny_hybrid()
+        src = np.asarray([0], dtype=np.int64)
+        state.scatter_edges(
+            src, np.asarray([3], dtype=np.int64),
+            src, np.asarray([5], dtype=np.int64),
+        )
+        pending = state._pending
+        assert pending > 0
+        state.get(0, 5)
+        state.dense_row(0)
+        state.dense_col(5)
+        state.sym_row_cdf(0)
+        assert state._pending == pending
+        state.to_dense()  # whole-matrix read is the flush point
+        assert state._pending == 0
+
+    def test_negative_count_surfaces_at_flush(self):
+        """The deferred audit still fires: going negative raises."""
+        C = 6
+        state = HybridBlockState(
+            SparseBlockState.from_dense(np.zeros((C, C), dtype=np.int64)), 2
+        )
+        src = np.asarray([1], dtype=np.int64)
+        dst = np.asarray([2], dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        state.scatter_edges(src, dst, empty, empty)  # remove a phantom edge
+        with pytest.raises(BlockmodelError, match="negative count"):
+            state.to_dense()
+
+
+class TestMemoryAccounting:
+    def test_sparse_counts_flat_cache(self):
+        state = SparseBlockState.from_dense(_ref_matrix(32, seed=9))
+        before = state.memory_bytes()
+        state.gather(
+            np.asarray([0, 1, 2], dtype=np.int64),
+            np.asarray([3, 4, 5], dtype=np.int64),
+        )  # materializes the lazy flat-CSR cache
+        assert state._flat is not None
+        assert state.memory_bytes() > before
+
+    def test_sparse_covers_line_payloads(self):
+        state = SparseBlockState.from_dense(_ref_matrix(16, seed=5))
+        payload = sum(
+            int(arr.nbytes)
+            for store in (state._row_cols, state._row_vals,
+                          state._col_rows, state._col_vals)
+            for arr in store
+        )
+        assert state.memory_bytes() >= payload
+
+    def test_hybrid_counts_cache_and_journal(self):
+        state, _ = _tiny_hybrid(C=16, cache_lines=4)
+        base = state.memory_bytes()
+        assert base >= state._backing.memory_bytes()
+        state.dense_row(0)
+        state.dense_col(1)
+        cached = state.memory_bytes()
+        assert cached > base
+        src = np.asarray([0], dtype=np.int64)
+        state.scatter_edges(
+            src, np.asarray([2], dtype=np.int64),
+            src, np.asarray([3], dtype=np.int64),
+        )
+        assert state.memory_bytes() > cached
+        assert state._pending > 0  # memory_bytes must not flush
+
+    def test_hybrid_cache_is_bounded(self):
+        state, _ = _tiny_hybrid(C=32, cache_lines=3)
+        for r in range(32):
+            state.dense_row(r)
+            state.dense_col(r)
+        assert len(state._row_lru) == 3
+        assert len(state._col_lru) == 3
+
+
+class TestProposalCacheRowGranular:
+    def _blockmodel(self, graph, storage):
+        rng = np.random.default_rng(8)
+        assignment = rng.integers(0, 6, graph.num_vertices)
+        return Blockmodel.from_assignment(graph, assignment, 6, storage=storage)
+
+    def test_untouched_rows_survive_a_move(self, planted_graph):
+        """Versioned protocol: a move rebuilds only rows it wrote.
+
+        Under the eager dirty-set protocol the ``{r, s} ∪ t_out ∪ t_in``
+        entries are dropped wholesale; the versioned protocol must keep
+        the *object-identical* CDF for every block whose line the move
+        did not touch, and rebuild exactly the touched ones.
+        """
+        graph, _ = planted_graph
+        bm = self._blockmodel(graph, "hybrid")
+        cache = ProposalCache(bm)
+        assert cache._versioned
+        before = {u: cache.row_cdf(u) for u in range(bm.num_blocks)}
+        t_out = np.asarray([2], dtype=np.int64)
+        t_in = np.asarray([3], dtype=np.int64)
+        ones = np.asarray([1], dtype=np.int64)
+        bm.state.apply_move(0, 1, t_out, ones, t_in, ones, 0)
+        cache.invalidate_move(0, 1, t_out, t_in)  # no-op when versioned
+        touched = {0, 1, 2, 3}
+        for u in range(bm.num_blocks):
+            after = cache.row_cdf(u)
+            if u in touched:
+                assert after is not before[u], f"block {u} served stale CDF"
+                assert_array_equal(after.cdf, bm.state.sym_row_cdf(u).cdf)
+            else:
+                assert after is before[u], f"block {u} rebuilt needlessly"
+
+    def test_eager_protocol_unchanged_for_dense(self, planted_graph):
+        graph, _ = planted_graph
+        bm = self._blockmodel(graph, "dense")
+        cache = ProposalCache(bm)
+        assert not cache._versioned
+        cache.row_cdf(0)
+        cache.row_cdf(4)
+        cache.invalidate_move(
+            0, 1, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert 0 not in cache._cdfs
+        assert 4 in cache._cdfs
+
+    def test_state_swap_clears_stamps(self, planted_graph):
+        """Fresh state objects restart version counters at zero.
+
+        Without the identity guard a stamp recorded against the old
+        state could falsely validate against the new one.
+        """
+        graph, _ = planted_graph
+        bm = self._blockmodel(graph, "hybrid")
+        cache = ProposalCache(bm)
+        stale = cache.row_cdf(0)
+        bm.state = bm.state.copy()  # e.g. a rebuild barrier swapped states
+        src = np.asarray([0], dtype=np.int64)
+        bm.state.scatter_edges(
+            src, np.asarray([1], dtype=np.int64),
+            src, np.asarray([2], dtype=np.int64),
+        )
+        fresh = cache.row_cdf(0)
+        assert fresh is not stale
+        assert_array_equal(fresh.cdf, bm.state.sym_row_cdf(0).cdf)
+
+    def test_merge_bumps_every_line(self):
+        state, _ = _tiny_hybrid()
+        versions = [state.line_version(u) for u in range(state.num_blocks)]
+        state.merge_into(0, 1)
+        for u in range(state.num_blocks):
+            assert state.line_version(u) > versions[u]
+
+
+class TestAutoPolicy:
+    def test_explicit_names_pass_through(self):
+        for name in ("dense", "sparse", "hybrid"):
+            engine, reason = resolve_block_storage(name, 10**6, 10**7)
+            assert engine == name
+            assert reason == "explicit"
+
+    def test_small_graphs_go_dense(self):
+        engine, reason = resolve_block_storage(AUTO_STORAGE, 500, 4000)
+        assert engine == "dense"
+        assert "fits" in reason
+
+    def test_large_sparse_graphs_go_hybrid(self):
+        # C = 2^16 would need 32 GiB dense; way past any default budget.
+        engine, _ = resolve_block_storage(AUTO_STORAGE, 1 << 16, 10**6)
+        assert engine == "hybrid"
+
+    def test_near_dense_within_budget_stays_dense(self):
+        # 8 * 4096^2 = 128 MiB <= 512 MiB default budget, density ~ 0.06.
+        c = 4096
+        engine, reason = resolve_block_storage(AUTO_STORAGE, c, c * c // 16)
+        assert engine == "dense"
+        assert "density" in reason
+
+    def test_budget_env_override(self, monkeypatch):
+        c = 4096
+        monkeypatch.setenv(STORAGE_BUDGET_ENV, str(10**6))
+        engine, _ = resolve_block_storage(AUTO_STORAGE, c, c * c // 16)
+        assert engine == "hybrid"
+        monkeypatch.delenv(STORAGE_BUDGET_ENV)
+        engine, _ = resolve_block_storage(AUTO_STORAGE, c, c * c // 16)
+        assert engine == "dense"
+
+    def test_explicit_budget_beats_env(self, monkeypatch):
+        monkeypatch.setenv(STORAGE_BUDGET_ENV, str(10**12))
+        engine, _ = resolve_block_storage(
+            AUTO_STORAGE, 4096, 4096 * 4096 // 16, budget_bytes=10**6
+        )
+        assert engine == "hybrid"
+
+    def test_config_accepts_auto(self):
+        config = SBPConfig(block_storage=AUTO_STORAGE)
+        assert config.block_storage == AUTO_STORAGE
+
+    @pytest.mark.slow
+    def test_run_records_resolved_engine(self, planted_graph):
+        graph, _ = planted_graph
+        config = SBPConfig(seed=9, block_storage=AUTO_STORAGE, max_sweeps=8)
+        result = run_sbp(graph, config)
+        # 80 vertices → dense fits comfortably.
+        assert result.block_storage == "dense"
+        explicit = run_sbp(
+            graph, SBPConfig(seed=9, block_storage="dense", max_sweeps=8)
+        )
+        assert_array_equal(result.assignment, explicit.assignment)
+        assert result.mdl == explicit.mdl
+
+    @pytest.mark.slow
+    def test_auto_checkpoint_interops_with_resolved_name(
+        self, planted_graph, tmp_path
+    ):
+        """Digests record the *resolved* engine, so auto and its
+        resolution share checkpoints instead of refusing each other."""
+        graph, _ = planted_graph
+        ck = RunCheckpointer(tmp_path / "ckpt")
+        auto = SBPConfig(seed=5, block_storage=AUTO_STORAGE, max_sweeps=8)
+        first = run_sbp(graph, auto, checkpointer=ck)
+        resumed = run_sbp(
+            graph,
+            SBPConfig(seed=5, block_storage="dense", max_sweeps=8),
+            checkpointer=ck,
+        )
+        assert_array_equal(resumed.assignment, first.assignment)
+        assert resumed.mdl == first.mdl
+
+    def test_digest_requires_resolution_first(self):
+        """A digest of an unresolved auto config differs from dense's —
+        the run loop must resolve before digesting (and does)."""
+        auto = SBPConfig(seed=1, block_storage=AUTO_STORAGE)
+        dense = SBPConfig(seed=1, block_storage="dense")
+        assert config_digest(auto) != config_digest(dense)
+        assert config_digest(auto.replace(block_storage="dense")) == (
+            config_digest(dense)
+        )

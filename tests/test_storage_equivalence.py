@@ -1,12 +1,12 @@
-"""Dense-vs-sparse storage equivalence: full runs, checkpoints, CLI.
+"""Storage-engine equivalence: full runs, checkpoints, CLI.
 
-The ``sparse`` engine is only admissible because it replays the exact
-chains the ``dense`` oracle produces — byte-equal assignments and
-bit-identical MDL floats, per sweep, across the variant x update
-strategy x seed matrix. On top of the chain equivalence this module
-covers the persistence surface: blockmodel archives round-trip their
-storage engine, checkpoints refuse a resume under a different engine,
-and the CLI flag reaches the config.
+The ``sparse`` and ``hybrid`` engines are only admissible because they
+replay the exact chains the ``dense`` oracle produces — byte-equal
+assignments and bit-identical MDL floats, per sweep, across the variant
+x update strategy x seed matrix. On top of the chain equivalence this
+module covers the persistence surface: blockmodel archives round-trip
+their storage engine, checkpoints refuse a resume under a different
+engine, and the CLI flag reaches the config.
 """
 
 from __future__ import annotations
@@ -51,25 +51,24 @@ def _run(graph, variant, strategy, seed, storage, **overrides):
 @pytest.mark.slow
 class TestFullRunEquivalence:
     @pytest.mark.parametrize("combo", _MATRIX, ids=_ids)
-    def test_sparse_replays_dense_chain(self, planted_graph, combo):
+    def test_engines_replay_dense_chain(self, planted_graph, combo):
         variant, strategy, seed = combo
         graph, _ = planted_graph
         dense = _run(graph, variant, strategy, seed, "dense")
-        sparse = _run(graph, variant, strategy, seed, "sparse")
-        assert_array_equal(sparse.assignment, dense.assignment)
-        assert sparse.mdl == dense.mdl  # bit-identical, not approx
-        assert sparse.num_blocks == dense.num_blocks
-        assert sparse.search_history == dense.search_history
         dense_mdls = [s.delta_mdl for s in dense.sweep_stats]
-        sparse_mdls = [s.delta_mdl for s in sparse.sweep_stats]
-        assert sparse_mdls == dense_mdls
         dense_acc = [s.accepted for s in dense.sweep_stats]
-        sparse_acc = [s.accepted for s in sparse.sweep_stats]
-        assert sparse_acc == dense_acc
+        for storage in ("sparse", "hybrid"):
+            other = _run(graph, variant, strategy, seed, storage)
+            assert_array_equal(other.assignment, dense.assignment)
+            assert other.mdl == dense.mdl  # bit-identical, not approx
+            assert other.num_blocks == dense.num_blocks
+            assert other.search_history == dense.search_history
+            assert [s.delta_mdl for s in other.sweep_stats] == dense_mdls
+            assert [s.accepted for s in other.sweep_stats] == dense_acc
 
 
 class TestSerializationRoundTrip:
-    @pytest.mark.parametrize("storage", ["dense", "sparse"])
+    @pytest.mark.parametrize("storage", ["dense", "sparse", "hybrid"])
     def test_blockmodel_archive_preserves_engine(
         self, planted_graph, tmp_path, storage
     ):
@@ -157,9 +156,11 @@ class TestCheckpointStorage:
         assert len(results) == 1
 
     def test_digest_separates_storage_engines(self):
-        dense = SBPConfig(seed=1, block_storage="dense")
-        sparse = SBPConfig(seed=1, block_storage="sparse")
-        assert config_digest(dense) != config_digest(sparse)
+        digests = {
+            config_digest(SBPConfig(seed=1, block_storage=name))
+            for name in ("dense", "sparse", "hybrid")
+        }
+        assert len(digests) == 3
 
 
 class TestCLI:
@@ -187,7 +188,8 @@ class TestCLI:
         for section in ("variants", "execution backends", "merge backends",
                         "update strategies", "block storages"):
             assert section in out
-        for name in ("dense", "sparse", "incremental", "h-sbp"):
+        for name in ("dense", "sparse", "hybrid", "auto", "incremental",
+                     "h-sbp"):
             assert name in out
 
     def test_variants_deprecation_note(self, capsys):
