@@ -83,7 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "batched middle band (tiered variant only)")
     detect.add_argument("--backend", default="vectorized",
                         help="execution backend; 'resilient:<inner>' wraps "
-                             "<inner> with timeout/retry/fallback handling")
+                             "<inner> with timeout/retry/fallback handling; "
+                             "'distributed:<transport>:<ranks>' shards sweeps "
+                             "over a fault-tolerant wire (transports: sim, "
+                             "inproc, pipes)")
+    detect.add_argument("--shard-loss-policy", default="recover",
+                        choices=["recover", "degrade", "fail"],
+                        help="distributed backend's response to a dead shard: "
+                             "re-lease its vertices to survivors "
+                             "(bit-identical), finish degraded with the "
+                             "survivors (interrupted=true), or raise")
     detect.add_argument("--merge-backend", default="vectorized",
                         choices=["serial", "vectorized"],
                         help="block-merge scan kernel (bit-identical results)")
@@ -183,6 +192,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         num_batches=args.num_batches,
         tier_split=args.tier_split,
         backend=args.backend,
+        shard_loss_policy=args.shard_loss_policy,
         merge_backend=args.merge_backend,
         update_strategy=args.update_strategy,
         block_storage=args.block_storage,

@@ -86,13 +86,20 @@ def run_sbp(
     if config is None:
         config = SBPConfig()
     config = _resolve_storage_policy(graph, config)
-    backend = get_backend(config.backend, **config.backend_options)
+    backend_options = dict(config.backend_options)
+    if "distributed" in config.backend:
+        backend_options.setdefault("shard_loss_policy", config.shard_loss_policy)
+    backend = get_backend(config.backend, **backend_options)
     timers = StopwatchPool()
     search = GoldenSectionSearch(
         reduction_rate=config.block_reduction_rate, min_blocks=1
     )
     auditor = InvariantAuditor(config.audit_cadence, config.audit_self_heal)
     stop = StopGuard(config.time_budget)
+    if hasattr(backend, "bind_stop_guard"):
+        # The distributed runtime's degrade policy stops the run between
+        # sweeps instead of raising, yielding a best-so-far result.
+        backend.bind_stop_guard(stop)
     digest = config_digest(config)
 
     state = checkpointer.load() if checkpointer is not None else None
@@ -134,6 +141,7 @@ def run_sbp(
     all_stats: list[SweepStats] = []
     converged = False
     interrupted = False
+    comm_report: dict | None = None
     try:
         with stop.install():
             while True:
@@ -190,7 +198,15 @@ def run_sbp(
                         search_history, timers, digest,
                     ))
     finally:
+        # Harvest the wire report before close() tears the transport down.
+        if hasattr(backend, "comm_report"):
+            comm_report = backend.comm_report()
         backend.close()
+
+    if comm_report is not None and comm_report.get("degraded"):
+        # A shard died under the 'degrade' policy: the survivors finished
+        # the run, but the chain is no longer the reference chain.
+        interrupted = True
 
     best = search.best.copy()
     best.compact()
@@ -215,6 +231,11 @@ def run_sbp(
         peak_rss_bytes=peak_rss_bytes(),
         b_nnz=best.state.nnz,
         b_density=best.state.density,
+        comm_messages=int((comm_report or {}).get("p2p_messages", 0)),
+        comm_bytes=int((comm_report or {}).get("total_bytes", 0)),
+        comm_retries=int((comm_report or {}).get("retries", 0)),
+        frames_quarantined=int((comm_report or {}).get("frames_quarantined", 0)),
+        shard_releases=int((comm_report or {}).get("shard_releases", 0)),
     )
     return SBPResult(
         variant=str(config.variant),

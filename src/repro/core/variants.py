@@ -64,10 +64,20 @@ class SBPConfig:
     block_reduction_rate:
         Fraction of blocks retained per agglomerative step (0.5 halves).
     backend:
-        Execution backend for async sweeps: 'serial', 'vectorized', or
-        'process'.
+        Execution backend for async sweeps: 'serial', 'vectorized',
+        'process', a 'resilient:<inner>' wrapper, or
+        'distributed:<transport>:<ranks>' for the sharded runtime (all
+        bit-identical; see :mod:`repro.distributed.runtime`).
     backend_options:
         Extra keyword arguments for the backend factory.
+    shard_loss_policy:
+        What the distributed runtime does when a shard dies mid-run:
+        'recover' (re-lease its vertices to survivors and re-evaluate
+        from the frozen state — bit-identical, the default), 'degrade'
+        (finish with survivors, return best-so-far flagged
+        ``interrupted=True``) or 'fail' (raise
+        :class:`~repro.errors.ShardLost`). Ignored by non-distributed
+        backends.
     merge_backend:
         Candidate-scan backend for the block-merge phase (Alg. 1):
         'vectorized' (batch kernels) or 'serial' (the oracle loop).
@@ -123,6 +133,7 @@ class SBPConfig:
     block_reduction_rate: float = 0.5
     backend: str = "vectorized"
     backend_options: dict = field(default_factory=dict)
+    shard_loss_policy: str = "recover"
     merge_backend: str = "vectorized"
     update_strategy: str = "incremental"
     block_storage: str = "dense"
@@ -162,6 +173,11 @@ class SBPConfig:
             raise ValueError("time_budget must be >= 0 (or None)")
         if self.audit_cadence < 0:
             raise ValueError("audit_cadence must be >= 0")
+        if self.shard_loss_policy not in ("recover", "degrade", "fail"):
+            raise ValueError(
+                "shard_loss_policy must be 'recover', 'degrade' or 'fail', "
+                f"got {self.shard_loss_policy!r}"
+            )
         if self.update_strategy not in ("rebuild", "incremental"):
             raise ValueError(
                 "update_strategy must be 'rebuild' or 'incremental', "

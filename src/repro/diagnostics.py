@@ -98,10 +98,20 @@ def run_health(result: SBPResult) -> dict[str, object]:
     Flat dict for logs/dashboards: did the search converge, was it cut
     short, and is the reported MDL actually usable (finite, below the
     null model)? ``ok`` is the single rollup bit operators alert on.
+
+    Distributed runs additionally surface the wire's fault accounting
+    (frame retransmissions, quarantined frames, shard re-lease events).
+    Retries and quarantines are *masked* faults — the reliable layer
+    absorbed them and the chain is intact, so they warn without
+    clearing ``ok``; they matter as a canary that the transport is
+    degrading. Shard re-leases mean a rank died and its vertices moved
+    to survivors; under the ``recover`` policy the result is still
+    bit-identical, so that too is a warning, not a failure.
     """
     mdl_finite = bool(np.isfinite(result.mdl))
     beats_null = mdl_finite and result.normalized_mdl < 1.0
     problems: list[str] = []
+    warnings: list[str] = []
     if not mdl_finite:
         problems.append("non-finite MDL")
     if result.interrupted:
@@ -110,6 +120,22 @@ def run_health(result: SBPResult) -> dict[str, object]:
         problems.append("search hit max_outer_iterations without converging")
     if mdl_finite and not beats_null:
         problems.append("MDL does not beat the null model (no structure found)")
+    timings = result.timings
+    if timings.comm_retries:
+        warnings.append(
+            f"{timings.comm_retries} frame retransmission(s) masked by the "
+            "reliable comm layer"
+        )
+    if timings.frames_quarantined:
+        warnings.append(
+            f"{timings.frames_quarantined} corrupt frame(s) quarantined at "
+            "the wire"
+        )
+    if timings.shard_releases:
+        warnings.append(
+            f"{timings.shard_releases} shard re-lease event(s): dead rank(s) "
+            "had their vertices re-leased to survivors"
+        )
     return {
         "ok": not problems,
         "converged": result.converged,
@@ -118,7 +144,11 @@ def run_health(result: SBPResult) -> dict[str, object]:
         "beats_null": beats_null,
         "outer_iterations": result.outer_iterations,
         "mcmc_sweeps": result.mcmc_sweeps,
+        "comm_retries": timings.comm_retries,
+        "frames_quarantined": timings.frames_quarantined,
+        "shard_releases": timings.shard_releases,
         "problems": problems,
+        "warnings": warnings,
     }
 
 

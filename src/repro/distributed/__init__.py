@@ -18,28 +18,68 @@ under virtual clocks):
   rank evaluates its owned vertices against its blockmodel replica,
   membership updates are allgathered, and the replica is rebuilt.
 
+On top of the simulated world sits the *fault-tolerant runtime* — the
+production path of ROADMAP item 2:
+
+* :mod:`repro.distributed.comm` also defines the :class:`Transport`
+  protocol (framed, CRC32-checksummed byte channels) with the ``sim``
+  engine; :mod:`repro.distributed.wire` adds ``inproc`` (courier
+  threads + queues) and ``pipes`` (multiprocessing connections);
+* :mod:`repro.distributed.chaos` — seeded wire-fault injection
+  (drops, duplicates, delays, truncation, bit-flips);
+* :mod:`repro.distributed.reliable` — exactly-once in-order delivery
+  via sequence numbers, retransmission under a
+  :class:`~repro.resilience.resilient.RetryPolicy`, and a
+  poisoned-frame quarantine;
+* :mod:`repro.distributed.runtime` — the ``distributed:<transport>:
+  <ranks>`` execution backend with sweep-barrier heartbeats, dead-shard
+  detection, vertex re-leasing and ``shard_loss_policy``
+  recover/degrade/fail.
+
 Because asynchronous Gibbs evaluates against the frozen sweep-start
 state with pre-drawn per-vertex randomness, the distributed execution is
-*bit-identical* to single-node A-SBP — verified by tests — while the
+*bit-identical* to single-node A-SBP — verified by tests, including
+under injected faults and mid-sweep shard death — while the
 communication ledger and virtual clocks quantify what a real cluster
 run would cost.
 """
 
-from repro.distributed.comm import CommSpec, SimCommWorld
-from repro.distributed.partition import (
-    PartitionStats,
-    partition_vertices,
-    edge_cut,
+from repro.distributed.chaos import FAULT_KINDS, ChaosSchedule, ChaosTransport
+from repro.distributed.comm import (
+    CommLedger,
+    CommSpec,
+    SimCommWorld,
+    SimTransport,
+    Transport,
+    available_transports,
+    decode_frame,
+    encode_frame,
+    get_transport,
+    register_transport,
 )
-from repro.distributed.graphdist import DistributedGraph
-from repro.distributed.halo import HaloPlan, build_halo_plan, halo_exchange_moves
 from repro.distributed.dsbp import (
     DistributedSweepReport,
     distributed_async_sweep,
     model_distributed_scaling,
 )
+from repro.distributed.graphdist import DistributedGraph
+from repro.distributed.halo import (
+    HaloPlan,
+    build_halo_plan,
+    halo_exchange_frames,
+    halo_exchange_moves,
+)
+from repro.distributed.partition import (
+    PartitionStats,
+    edge_cut,
+    partition_vertices,
+)
+from repro.distributed.reliable import ReliableComm
+from repro.distributed.runtime import SHARD_LOSS_POLICIES, DistributedBackend
+from repro.distributed.wire import InprocTransport, PipesTransport
 
 __all__ = [
+    "CommLedger",
     "CommSpec",
     "SimCommWorld",
     "PartitionStats",
@@ -49,7 +89,23 @@ __all__ = [
     "HaloPlan",
     "build_halo_plan",
     "halo_exchange_moves",
+    "halo_exchange_frames",
     "DistributedSweepReport",
     "distributed_async_sweep",
     "model_distributed_scaling",
+    "Transport",
+    "SimTransport",
+    "InprocTransport",
+    "PipesTransport",
+    "register_transport",
+    "get_transport",
+    "available_transports",
+    "encode_frame",
+    "decode_frame",
+    "FAULT_KINDS",
+    "ChaosSchedule",
+    "ChaosTransport",
+    "ReliableComm",
+    "SHARD_LOSS_POLICIES",
+    "DistributedBackend",
 ]

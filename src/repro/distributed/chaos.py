@@ -1,0 +1,182 @@
+"""Chaos at the wire: seeded fault injection between transport and comm.
+
+The distributed counterpart of the resilience layer's
+:class:`~repro.resilience.faults.ChaosBackend`: where that harness makes
+a *compute* backend raise/hang/corrupt, :class:`ChaosTransport` wraps
+any :class:`~repro.distributed.comm.Transport` and mangles *frames* —
+drops, duplicates, delays, truncations and bit-flips.
+
+Determinism is the whole point. Every fault decision is a pure function
+of ``(schedule.seed, source, dest, per-channel push index)`` via the
+same Philox streams that drive the MCMC chain, so a chaos run is exactly
+reproducible regardless of thread timing — and because each
+*retransmission* is a new push with a new index, it gets a fresh draw: a
+drop rate below 1.0 can never starve the retry loop forever. The
+injected-fault counters are the test oracle: a chaos run must report
+injections > 0 *and* a trajectory byte-equal to the fault-free oracle,
+proving the reliable layer masked every one.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, fields
+
+from repro.distributed.comm import Transport
+from repro.errors import TransportError
+from repro.utils.rng import philox_stream
+
+__all__ = ["FAULT_KINDS", "ChaosSchedule", "ChaosTransport"]
+
+#: Injectable fault kinds, in cumulative-threshold order.
+FAULT_KINDS = ("drop", "duplicate", "delay", "truncate", "bitflip")
+
+#: Philox domain tag separating wire-chaos draws from MCMC draws.
+_CHAOS_TAG = 0xC4A05
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """Per-kind fault rates plus the seed keying the decision streams.
+
+    Rates are probabilities per pushed frame; their sum must stay <= 1
+    (one fault at most per push, picked by cumulative thresholds on a
+    single uniform).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    truncate: float = 0.0
+    bitflip: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for kind in FAULT_KINDS:
+            rate = getattr(self, kind)
+            if not 0.0 <= rate <= 1.0:
+                raise TransportError(f"{kind} rate must lie in [0, 1], got {rate}")
+            total += rate
+        if total > 1.0:
+            raise TransportError(f"fault rates sum to {total:.3f} > 1")
+
+    @classmethod
+    def from_mapping(cls, mapping: dict) -> "ChaosSchedule":
+        """Build from a plain dict (CLI / backend_options friendly)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(mapping) - known
+        if unknown:
+            raise TransportError(f"unknown chaos keys: {sorted(unknown)}")
+        return cls(**mapping)
+
+    def decide(self, source: int, dest: int, index: int):
+        """Return ``(fault_kind_or_None, generator)`` for one push.
+
+        The generator is handed back so the fault's parameters (delay
+        distance, cut length, flipped bit) come from the same keyed
+        stream — one draw sequence per (channel, index), untouched by
+        any other channel's traffic.
+        """
+        rng = philox_stream(self.seed, _CHAOS_TAG, (source << 20) | dest, index)
+        u = float(rng.random())
+        cumulative = 0.0
+        for kind in FAULT_KINDS:
+            cumulative += getattr(self, kind)
+            if u < cumulative:
+                return kind, rng
+        return None, rng
+
+
+class ChaosTransport(Transport):
+    """Fault-injecting wrapper around any transport.
+
+    Semantics per kind:
+
+    * ``drop`` — the frame never reaches the inner transport (the
+      sender's retransmit buffer is the only copy left);
+    * ``duplicate`` — delivered twice back-to-back (dedupe must absorb);
+    * ``delay`` — held back and released onto the channel only after 1-3
+      further operations on it (reordering across the holdback window);
+    * ``truncate`` — a suffix is cut (the length prefix catches it);
+    * ``bitflip`` — one bit flipped at a seeded position (CRC or magic
+      check catches it).
+
+    ``injected`` counts what was actually done, per kind.
+    """
+
+    name = "chaos"
+
+    def __init__(self, inner: Transport, schedule: ChaosSchedule) -> None:
+        super().__init__(inner.num_ranks)
+        self.inner = inner
+        self.schedule = schedule
+        self.injected: Counter[str] = Counter()
+        self._push_index: dict[tuple[int, int], int] = {}
+        self._ops: dict[tuple[int, int], int] = {}
+        self._held: dict[tuple[int, int], list[tuple[int, bytes]]] = {}
+        self._lock = threading.Lock()
+
+    def push(self, frame: bytes, source: int, dest: int) -> None:
+        source, dest = self._check_pair(source, dest)
+        key = (source, dest)
+        with self._lock:
+            index = self._push_index.get(key, 0)
+            self._push_index[key] = index + 1
+            kind, rng = self.schedule.decide(source, dest, index)
+            self._tick(key)
+            if kind == "drop":
+                self.injected["drop"] += 1
+                return
+            if kind == "duplicate":
+                self.injected["duplicate"] += 1
+                self.inner.push(frame, source, dest)
+                self.inner.push(frame, source, dest)
+                return
+            if kind == "delay":
+                self.injected["delay"] += 1
+                release_at = self._ops[key] + 1 + int(rng.integers(0, 3))
+                self._held.setdefault(key, []).append((release_at, frame))
+                return
+            if kind == "truncate":
+                self.injected["truncate"] += 1
+                cut = 1 + int(rng.integers(0, max(len(frame) - 1, 1)))
+                frame = frame[: len(frame) - cut]
+            elif kind == "bitflip":
+                self.injected["bitflip"] += 1
+                mangled = bytearray(frame)
+                pos = int(rng.integers(0, len(mangled)))
+                mangled[pos] ^= 1 << int(rng.integers(0, 8))
+                frame = bytes(mangled)
+            self.inner.push(frame, source, dest)
+
+    def pull(self, source: int, dest: int, timeout: float = 0.0) -> bytes | None:
+        source, dest = self._check_pair(source, dest)
+        with self._lock:
+            self._tick((source, dest))
+        return self.inner.pull(source, dest, timeout=timeout)
+
+    def _tick(self, key: tuple[int, int]) -> None:
+        """Advance the channel op counter; release due held frames."""
+        ops = self._ops.get(key, 0) + 1
+        self._ops[key] = ops
+        held = self._held.get(key)
+        if not held:
+            return
+        due = [frame for release_at, frame in held if release_at <= ops]
+        if due:
+            self._held[key] = [
+                (release_at, frame) for release_at, frame in held if release_at > ops
+            ]
+            for frame in due:
+                self.inner.push(frame, *key)
+
+    def close(self) -> None:
+        # Flush still-held frames so close never loses data silently.
+        with self._lock:
+            for key, held in self._held.items():
+                for _, frame in held:
+                    self.inner.push(frame, *key)
+            self._held.clear()
+        self.inner.close()

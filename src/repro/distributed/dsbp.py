@@ -24,6 +24,7 @@ which :func:`model_distributed_scaling` turns into scaling curves.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -179,7 +180,7 @@ def model_distributed_scaling(
 
     backend = VectorizedBackend()
     rows: list[dict[str, object]] = []
-    reference: int | None = None
+    reference: str | None = None
     for ranks in rank_counts:
         bm = Blockmodel.from_assignment(
             graph, np.asarray(assignment, dtype=np.int64)
@@ -196,11 +197,14 @@ def model_distributed_scaling(
                 rebuild_seconds=rebuild_seconds,
             )
             accepted += report.accepted_moves
-        checksum = int(np.bitwise_xor.reduce(
-            (bm.assignment * np.arange(1, graph.num_vertices + 1)) & 0xFFFF
-        ))
+        # Full-width digest of the final assignment: a cross-rank
+        # divergence of any single membership must flip the identity
+        # check (the old 16-bit XOR had birthday-trivial collisions).
+        digest = hashlib.sha256(
+            np.ascontiguousarray(bm.assignment, dtype=np.int64).tobytes()
+        ).hexdigest()
         if reference is None:
-            reference = checksum
+            reference = digest
         stats = partition_stats(graph, owner, strategy)
         rows.append(
             {
@@ -210,7 +214,8 @@ def model_distributed_scaling(
                 "edge_cut": stats.edge_cut_fraction,
                 "degree_imbalance": stats.degree_imbalance,
                 "moves": accepted,
-                "result_matches_1rank": checksum == reference,
+                "assignment_sha256": digest,
+                "result_matches_1rank": digest == reference,
             }
         )
     return rows

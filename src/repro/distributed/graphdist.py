@@ -55,9 +55,17 @@ class RankShard:
 
 
 class DistributedGraph:
-    """A graph partitioned over ``num_ranks`` simulated ranks."""
+    """A graph partitioned over ``num_ranks`` simulated ranks.
 
-    def __init__(self, graph: Graph, owner: IntArray) -> None:
+    ``num_ranks`` defaults to the highest rank the ownership map uses,
+    but can be given explicitly so a world whose *top* ranks own zero
+    vertices (more ranks than vertices, or a freshly re-leased shard) is
+    representable — those ranks get empty shards instead of vanishing.
+    """
+
+    def __init__(
+        self, graph: Graph, owner: IntArray, num_ranks: int | None = None
+    ) -> None:
         owner = np.asarray(owner, dtype=np.int64)
         if owner.shape != (graph.num_vertices,):
             raise ValueError(
@@ -65,9 +73,16 @@ class DistributedGraph:
             )
         if owner.size and owner.min() < 0:
             raise ValueError("owner ranks must be non-negative")
+        implied = int(owner.max()) + 1 if owner.size else 1
+        if num_ranks is None:
+            num_ranks = implied
+        elif num_ranks < implied:
+            raise ValueError(
+                f"num_ranks={num_ranks} cannot hold owner ranks up to {implied - 1}"
+            )
         self.graph = graph
         self.owner = owner
-        self.num_ranks = int(owner.max()) + 1 if owner.size else 1
+        self.num_ranks = int(num_ranks)
         self.shards = [self._build_shard(r) for r in range(self.num_ranks)]
 
     def _build_shard(self, rank: int) -> RankShard:

@@ -25,7 +25,12 @@ from repro.distributed.comm import SimCommWorld
 from repro.distributed.graphdist import DistributedGraph
 from repro.types import IntArray
 
-__all__ = ["HaloPlan", "build_halo_plan", "halo_exchange_moves"]
+__all__ = [
+    "HaloPlan",
+    "build_halo_plan",
+    "halo_exchange_moves",
+    "halo_exchange_frames",
+]
 
 
 @dataclass
@@ -102,6 +107,49 @@ def halo_exchange_moves(
                 continue
             payload = world.recv(source=owner_rank, dest=peer)
             received[peer].append(payload)
+
+    return [
+        np.concatenate(parts) if parts else np.empty((0, 2), dtype=np.int64)
+        for parts in received
+    ]
+
+
+def halo_exchange_frames(
+    comm,
+    plan: HaloPlan,
+    moves_by_rank: list[np.ndarray],
+) -> list[np.ndarray]:
+    """:func:`halo_exchange_moves` over a reliable framed channel set.
+
+    Same plan, same per-rank results, but the move arrays cross a real
+    :class:`~repro.distributed.reliable.ReliableComm` (any transport,
+    optionally chaos-wrapped) instead of the virtual-clock world — so
+    the halo pattern inherits checksums, retransmission and dedupe for
+    free. Empty send lists still send (they double as heartbeats for a
+    supervisor layered on top).
+    """
+    if len(moves_by_rank) != plan.num_ranks:
+        raise ValueError(
+            f"need moves for {plan.num_ranks} ranks, got {len(moves_by_rank)}"
+        )
+    for owner_rank, per_peer in plan.sends.items():
+        moves = moves_by_rank[owner_rank]
+        moved_vertices = moves[:, 0] if moves.size else np.empty(0, dtype=np.int64)
+        for peer, ghosted in per_peer.items():
+            if peer == owner_rank:
+                continue
+            if moves.size:
+                relevant = moves[np.isin(moved_vertices, ghosted)]
+            else:
+                relevant = np.empty((0, 2), dtype=np.int64)
+            comm.send(relevant, source=owner_rank, dest=peer)
+
+    received: list[list[np.ndarray]] = [[] for _ in range(plan.num_ranks)]
+    for owner_rank, per_peer in plan.sends.items():
+        for peer in per_peer:
+            if peer == owner_rank:
+                continue
+            received[peer].append(comm.recv(source=owner_rank, dest=peer))
 
     return [
         np.concatenate(parts) if parts else np.empty((0, 2), dtype=np.int64)

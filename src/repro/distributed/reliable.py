@@ -1,0 +1,182 @@
+"""Reliable delivery over an unreliable framed wire.
+
+:class:`ReliableComm` turns the raw :class:`~repro.distributed.comm.
+Transport` contract (frames may be dropped, duplicated, delayed,
+reordered or corrupted — see :class:`~repro.distributed.chaos.
+ChaosTransport`) into exactly-once, in-order message delivery:
+
+* every payload is pickled, framed with a per-channel **sequence
+  number** and CRC32 (:func:`~repro.distributed.comm.encode_frame`),
+  and kept in a retransmit buffer until delivered;
+* the receive path **quarantines** frames that fail validation (counted
+  in the ledger, never applied), **drops duplicates** (seq below the
+  cursor), **stashes** early arrivals (seq above it), and otherwise
+  hands payloads up strictly in sequence order;
+* a missing frame triggers retransmission under a
+  :class:`~repro.resilience.resilient.RetryPolicy` — the same
+  attempts/backoff/timeout object the resilient execution backend uses —
+  and exhausting it raises :class:`~repro.errors.ChannelTimeout`, the
+  wire-level symptom the shard supervisor maps to its loss policy.
+
+One ``ReliableComm`` instance holds both endpoints' cursors for all
+channels — the honest single-process equivalent of per-rank protocol
+state, matching how the transports themselves are process-local.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.distributed.comm import (
+    CommLedger,
+    Transport,
+    decode_frame,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+)
+from repro.errors import ChannelTimeout, FrameError
+from repro.resilience.resilient import RetryPolicy
+from repro.utils.log import get_logger
+
+__all__ = ["ReliableComm"]
+
+_log = get_logger("distributed.reliable")
+
+#: Default per-pull wait for in-flight frames (seconds). Small on
+#: purpose: the honest transports deliver within microseconds, and the
+#: retry loop multiplies this by the policy's attempt count.
+_DEFAULT_POLL = 0.02
+
+#: Cap on remembered quarantine descriptions (counters never stop).
+_QUARANTINE_LOG_CAP = 64
+
+
+class ReliableComm:
+    """Exactly-once in-order messaging over a lossy framed transport."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        policy: RetryPolicy | None = None,
+        ledger: CommLedger | None = None,
+    ) -> None:
+        self.transport = transport
+        self.policy = policy or RetryPolicy(retries=8, backoff=0.0)
+        self.ledger = ledger or CommLedger()
+        self.poll_timeout = (
+            self.policy.timeout if self.policy.timeout is not None else _DEFAULT_POLL
+        )
+        self.quarantine_log: list[str] = []
+        self._next_send: dict[tuple[int, int], int] = {}
+        self._next_recv: dict[tuple[int, int], int] = {}
+        self._sent: dict[tuple[int, int], dict[int, bytes]] = {}
+        self._stash: dict[tuple[int, int], dict[int, bytes]] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def num_ranks(self) -> int:
+        return self.transport.num_ranks
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send(self, payload: object, source: int, dest: int) -> None:
+        """Frame and push one message on the (source, dest) channel."""
+        key = (source, dest)
+        with self._lock:
+            seq = self._next_send.get(key, 0)
+            self._next_send[key] = seq + 1
+            frame = encode_frame(seq, encode_payload(payload))
+            self._sent.setdefault(key, {})[seq] = frame
+            self.ledger.point_to_point_messages += 1
+            self.ledger.point_to_point_bytes += len(frame)
+        self.transport.push(frame, source, dest)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def recv(self, source: int, dest: int) -> object:
+        """Return the next in-sequence payload from ``source``.
+
+        Masks drops/dups/reordering/corruption via the stash +
+        retransmit protocol; raises :class:`ChannelTimeout` once the
+        retry policy is exhausted with the expected frame still missing
+        — the caller decides whether that means a dead shard.
+        """
+        key = (source, dest)
+        expected = self._next_recv.get(key, 0)
+        stash = self._stash.setdefault(key, {})
+        for attempt in range(self.policy.attempts):
+            self.policy.sleep_before(attempt)
+            self._drain(key, stash)
+            if expected in stash:
+                raw = stash.pop(expected)
+                self._next_recv[key] = expected + 1
+                self._ack(key, expected)
+                return decode_payload(raw)
+            if attempt + 1 < self.policy.attempts:
+                self._retransmit(key, expected)
+        raise ChannelTimeout(
+            f"no frame {expected} from rank {source} to {dest} after "
+            f"{self.policy.attempts} attempts"
+        )
+
+    def _drain(self, key: tuple[int, int], stash: dict[int, bytes]) -> None:
+        """Move every available wire frame into the stash.
+
+        The first pull may wait ``poll_timeout`` for in-flight frames;
+        subsequent pulls are non-blocking so an empty wire costs one
+        bounded wait per attempt, not one per frame.
+        """
+        expected = self._next_recv.get(key, 0)
+        timeout = 0.0 if expected in stash else self.poll_timeout
+        while True:
+            raw = self.transport.pull(*key, timeout=timeout)
+            timeout = 0.0
+            if raw is None:
+                return
+            try:
+                seq, payload = decode_frame(raw)
+            except FrameError as exc:
+                self.ledger.frames_quarantined += 1
+                if len(self.quarantine_log) < _QUARANTINE_LOG_CAP:
+                    self.quarantine_log.append(f"{key[0]}->{key[1]}: {exc}")
+                _log.warning("quarantined frame on %s->%s: %s", *key, exc)
+                continue
+            if seq < expected:
+                continue  # duplicate of an already-delivered frame
+            stash.setdefault(seq, payload)
+
+    def _retransmit(self, key: tuple[int, int], seq: int) -> None:
+        """Re-push the buffered frame blocking the sequence, if any.
+
+        A seq the sender never buffered means the peer never sent it —
+        the dead-shard case — so there is nothing to re-push and the
+        retry loop is left to time out.
+        """
+        with self._lock:
+            frame = self._sent.get(key, {}).get(seq)
+            if frame is None:
+                return
+            self.ledger.retries += 1
+            self.ledger.point_to_point_bytes += len(frame)
+        _log.debug("retransmitting frame %d on %s->%s", seq, *key)
+        self.transport.push(frame, *key)
+
+    def _ack(self, key: tuple[int, int], seq: int) -> None:
+        """Drop retransmit buffers at or below the delivered ``seq``."""
+        with self._lock:
+            sent = self._sent.get(key)
+            if sent:
+                for old in [s for s in sent if s <= seq]:
+                    del sent[old]
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "ReliableComm":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

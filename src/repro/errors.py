@@ -14,6 +14,10 @@ __all__ = [
     "BlockmodelError",
     "ConvergenceError",
     "BackendError",
+    "TransportError",
+    "FrameError",
+    "ChannelTimeout",
+    "ShardLost",
     "ExperimentError",
     "SerializationError",
     "CheckpointError",
@@ -47,6 +51,39 @@ class ConvergenceError(ReproError):
 
 class BackendError(ReproError):
     """Raised when a parallel execution backend fails or is unavailable."""
+
+
+class TransportError(BackendError):
+    """Raised by the distributed wire layer (transports and channels).
+
+    Subclasses :class:`BackendError` so transport failures flow through
+    the same retry/fallback machinery as compute-backend failures.
+    """
+
+
+class FrameError(TransportError):
+    """Raised when a wire frame fails structural or checksum validation.
+
+    A frame that raises this is *quarantined* by the reliable comm layer
+    (counted, never applied) and recovered via retransmission.
+    """
+
+
+class ChannelTimeout(TransportError):
+    """Raised when a reliable channel exhausts its retry budget.
+
+    This is the wire-level symptom of a dead or wedged shard: the shard
+    supervisor maps it to the configured ``shard_loss_policy``.
+    """
+
+
+class ShardLost(BackendError):
+    """Raised when a shard dies mid-run and the policy is ``fail``.
+
+    Under ``recover`` the dead shard's vertices are re-leased to the
+    survivors instead; under ``degrade`` the run continues and returns a
+    best-so-far result flagged ``interrupted=True``.
+    """
 
 
 class ExperimentError(ReproError):

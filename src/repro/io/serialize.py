@@ -44,9 +44,11 @@ __all__ = [
 ]
 
 #: v3 added the memory gauges (peak_rss_bytes, b_nnz, b_density) to the
-#: timings block; v4 the resolved ``block_storage`` engine name. Older
-#: files load the absent fields back as zero / empty.
-_RESULT_FORMAT_VERSION = 4
+#: timings block; v4 the resolved ``block_storage`` engine name; v5 the
+#: distributed wire counters (comm_messages, comm_bytes, comm_retries,
+#: frames_quarantined, shard_releases). Older files load the absent
+#: fields back as zero / empty.
+_RESULT_FORMAT_VERSION = 5
 
 
 @contextmanager
@@ -128,6 +130,11 @@ def save_result(result: SBPResult, path: str | os.PathLike[str]) -> None:
             "peak_rss_bytes": result.timings.peak_rss_bytes,
             "b_nnz": result.timings.b_nnz,
             "b_density": result.timings.b_density,
+            "comm_messages": result.timings.comm_messages,
+            "comm_bytes": result.timings.comm_bytes,
+            "comm_retries": result.timings.comm_retries,
+            "frames_quarantined": result.timings.frames_quarantined,
+            "shard_releases": result.timings.shard_releases,
         },
         "mcmc_sweeps": result.mcmc_sweeps,
         "outer_iterations": result.outer_iterations,
@@ -169,6 +176,12 @@ def load_result(path: str | os.PathLike[str]) -> SBPResult:
                 peak_rss_bytes=int(timings.get("peak_rss_bytes", 0)),
                 b_nnz=int(timings.get("b_nnz", 0)),
                 b_density=float(timings.get("b_density", 0.0)),
+                # Distributed wire counters arrived in v5.
+                comm_messages=int(timings.get("comm_messages", 0)),
+                comm_bytes=int(timings.get("comm_bytes", 0)),
+                comm_retries=int(timings.get("comm_retries", 0)),
+                frames_quarantined=int(timings.get("frames_quarantined", 0)),
+                shard_releases=int(timings.get("shard_releases", 0)),
             ),
             mcmc_sweeps=int(payload["mcmc_sweeps"]),
             outer_iterations=int(payload["outer_iterations"]),

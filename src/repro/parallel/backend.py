@@ -89,6 +89,7 @@ def get_backend(name: str, **kwargs) -> ExecutionBackend:
     ``--backend`` string.
     """
     # Import side registers the built-ins lazily to avoid import cycles.
+    from repro.distributed import runtime  # noqa: F401
     from repro.parallel import serial, vectorized, processpool  # noqa: F401
     from repro.resilience import resilient  # noqa: F401
 
@@ -106,6 +107,7 @@ def get_backend(name: str, **kwargs) -> ExecutionBackend:
 
 
 def available_backends() -> list[str]:
+    from repro.distributed import runtime  # noqa: F401
     from repro.parallel import serial, vectorized, processpool  # noqa: F401
     from repro.resilience import resilient  # noqa: F401
 

@@ -22,7 +22,7 @@ from repro.resilience.audit import InvariantAuditor
 from repro.resilience.checkpoint import RunCheckpoint, RunCheckpointer, config_digest
 from repro.resilience.faults import ChaosBackend
 from repro.resilience.interrupt import StopGuard
-from repro.resilience.resilient import ResilientBackend
+from repro.resilience.resilient import ResilientBackend, RetryPolicy
 
 __all__ = [
     "InvariantAuditor",
@@ -32,4 +32,5 @@ __all__ = [
     "ChaosBackend",
     "StopGuard",
     "ResilientBackend",
+    "RetryPolicy",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -27,11 +28,56 @@ from repro.sbm.blockmodel import Blockmodel
 from repro.types import IntArray
 from repro.utils.log import get_logger
 
-__all__ = ["ResilientBackend"]
+__all__ = ["RetryPolicy", "ResilientBackend"]
 
 _log = get_logger("resilience.backend")
 
 _DEFAULT_FALLBACKS = ("vectorized", "serial")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempt/backoff/timeout policy for fault-tolerant calls.
+
+    One object answers "how many attempts, how long between them, and
+    when is an attempt abandoned" — shared by the resilient execution
+    backend (per-sweep attempts against the fallback chain) and the
+    distributed comm layer (per-message retransmission before a channel
+    is declared dead).
+
+    Attributes
+    ----------
+    retries:
+        Extra attempts after the first failure (total = retries + 1).
+    backoff:
+        Sleep ``backoff * attempt`` seconds before retry ``attempt``
+        (linear backoff; 0 disables sleeping).
+    timeout:
+        Per-attempt wall-clock limit in seconds, ``None`` for no limit.
+        The resilient backend enforces it around a sweep; the comm layer
+        uses it as the per-pull wait for in-flight frames.
+    """
+
+    retries: int = 1
+    backoff: float = 0.0
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise BackendError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise BackendError(f"backoff must be >= 0, got {self.backoff}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise BackendError(f"timeout must be > 0, got {self.timeout}")
+
+    @property
+    def attempts(self) -> int:
+        return self.retries + 1
+
+    def sleep_before(self, attempt: int) -> None:
+        """Linear-backoff sleep ahead of retry ``attempt`` (1-based)."""
+        if attempt > 0 and self.backoff > 0:
+            time.sleep(self.backoff * attempt)
 
 
 class ResilientBackend(ExecutionBackend):
@@ -68,13 +114,9 @@ class ResilientBackend(ExecutionBackend):
         backoff: float = 0.0,
         **inner_options,
     ) -> None:
-        if retries < 0:
-            raise BackendError(f"retries must be >= 0, got {retries}")
-        if sweep_timeout is not None and sweep_timeout <= 0:
-            raise BackendError(f"sweep_timeout must be > 0, got {sweep_timeout}")
-        self.sweep_timeout = sweep_timeout
-        self.retries = retries
-        self.backoff = backoff
+        self.policy = RetryPolicy(
+            retries=retries, backoff=backoff, timeout=sweep_timeout
+        )
         chain: list[ExecutionBackend] = [self._resolve(inner, inner_options)]
         if fallbacks is None:
             fallbacks = tuple(
@@ -93,6 +135,19 @@ class ResilientBackend(ExecutionBackend):
             return entry
         return get_backend(entry, **options)
 
+    # Legacy attribute views of the policy (kept for callers and logs).
+    @property
+    def sweep_timeout(self) -> float | None:
+        return self.policy.timeout
+
+    @property
+    def retries(self) -> int:
+        return self.policy.retries
+
+    @property
+    def backoff(self) -> float:
+        return self.policy.backoff
+
     def evaluate_sweep(
         self,
         bm: Blockmodel,
@@ -103,9 +158,8 @@ class ResilientBackend(ExecutionBackend):
     ) -> tuple[np.ndarray, IntArray]:
         failures: list[str] = []
         for backend in self.chain:
-            for attempt in range(self.retries + 1):
-                if attempt and self.backoff > 0:
-                    time.sleep(self.backoff * attempt)
+            for attempt in range(self.policy.attempts):
+                self.policy.sleep_before(attempt)
                 try:
                     result = self._attempt(backend, bm, graph, vertices, uniforms, beta)
                 except _SweepTimeout as exc:

@@ -56,6 +56,15 @@ class PhaseTimings:
     and the final blockmodel's inter-block-matrix non-zero count and
     density. ``merged_with`` keeps the max (a best-of protocol's peak is
     the max over member runs), unlike the time buckets which sum.
+
+    The ``comm_*`` counters are the distributed runtime's wire report
+    (zero for single-process backends): point-to-point messages and
+    total bytes framed onto the transport, frame retransmissions
+    (injected or real faults masked by the reliable layer), received
+    frames quarantined for failing checksum/structure validation, and
+    shard re-lease events (each one a dead rank whose vertices moved to
+    survivors). They sum under ``merged_with`` like the time buckets —
+    a best-of protocol's traffic is the total over member runs.
     """
 
     block_merge: float = 0.0
@@ -69,6 +78,11 @@ class PhaseTimings:
     peak_rss_bytes: int = 0
     b_nnz: int = 0
     b_density: float = 0.0
+    comm_messages: int = 0
+    comm_bytes: int = 0
+    comm_retries: int = 0
+    frames_quarantined: int = 0
+    shard_releases: int = 0
 
     @property
     def total(self) -> float:
@@ -95,6 +109,11 @@ class PhaseTimings:
             peak_rss_bytes=max(self.peak_rss_bytes, other.peak_rss_bytes),
             b_nnz=max(self.b_nnz, other.b_nnz),
             b_density=max(self.b_density, other.b_density),
+            comm_messages=self.comm_messages + other.comm_messages,
+            comm_bytes=self.comm_bytes + other.comm_bytes,
+            comm_retries=self.comm_retries + other.comm_retries,
+            frames_quarantined=self.frames_quarantined + other.frames_quarantined,
+            shard_releases=self.shard_releases + other.shard_releases,
         )
 
 
