@@ -1,0 +1,158 @@
+"""SamBaS speed/quality trade-off: full fit vs sample-extend-finetune.
+
+One DCSBM instance per size; for each sample rate in {1.0, 0.3, 0.1}
+the whole pipeline runs end to end (rate 1.0 is the stock search — the
+baseline row) and the row records wall-clock, the stage splits
+(``sampling``/``extension``/``finetune``), the recovered block count,
+MDL and NMI against the planted truth, plus the speedup over the
+baseline row.
+
+Full mode (default) runs V = 5e4 with mean degree 20 and enforces the
+PR-8 acceptance bounds on that entry: **≥ 5x speedup at rate 0.1 with
+NMI within 0.05 of the full fit**. ``--quick`` (CI smoke) runs V = 2e3
+with no hard quality bound — at that size a 10% sample is only 200
+vertices and the induced subgraph too sparse to gate on — asserting
+only that the sampled runs win on wall-clock and assign every vertex.
+
+Headline numbers are archived in ``BENCH_sampling.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.bench.reporting import format_table, write_report
+from repro.core.sbp import run_sbp
+from repro.core.variants import SBPConfig
+from repro.generators import DCSBMParams, generate_dcsbm
+from repro.metrics.nmi import normalized_mutual_information
+
+FULL_SIZES = [50_000]
+QUICK_SIZES = [2_000]
+RATES = [1.0, 0.3, 0.1]
+SAMPLER = "degree-weighted"
+GRAPH_SEED = 5
+FIT_SEED = 7
+NUM_COMMUNITIES = 8
+WITHIN_BETWEEN = 10.0
+MEAN_DEGREE = 20.0
+D_MAX = 80
+#: PR-8 acceptance bounds, enforced on the V >= 5e4 entry (full mode)
+MIN_SPEEDUP_AT_01 = 5.0
+MAX_NMI_GAP_AT_01 = 0.05
+
+
+def sampling_rows(sizes: list[int] | None = None) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for num_vertices in sizes if sizes is not None else FULL_SIZES:
+        graph, truth = generate_dcsbm(
+            DCSBMParams(
+                num_vertices=num_vertices,
+                num_communities=NUM_COMMUNITIES,
+                within_between_ratio=WITHIN_BETWEEN,
+                mean_degree=MEAN_DEGREE,
+                d_max=D_MAX,
+            ),
+            seed=GRAPH_SEED,
+        )
+        baseline_s = None
+        baseline_nmi = None
+        for rate in RATES:
+            config = SBPConfig(
+                variant="a-sbp", seed=FIT_SEED,
+                sample_rate=rate, sampler=SAMPLER,
+            )
+            start = time.perf_counter()
+            result = run_sbp(graph, config)
+            elapsed = time.perf_counter() - start
+            assert (result.assignment >= 0).all(), "unassigned vertices"
+            nmi = normalized_mutual_information(truth, result.assignment)
+            if rate == 1.0:
+                baseline_s = elapsed
+                baseline_nmi = nmi
+            rows.append(
+                {
+                    "V": num_vertices,
+                    "E": graph.num_edges,
+                    "rate": rate,
+                    "C": result.num_blocks,
+                    "fit_s": elapsed,
+                    "speedup": baseline_s / elapsed,
+                    "nmi": nmi,
+                    "nmi_gap": baseline_nmi - nmi,
+                    "sampling_s": result.timings.sampling,
+                    "extension_s": result.timings.extension,
+                    "finetune_s": result.timings.finetune,
+                    "mdl": result.mdl,
+                }
+            )
+    return rows
+
+
+def _check_rows(rows: list[dict[str, object]], quick: bool) -> None:
+    for row in rows:
+        if row["rate"] == 1.0:
+            continue
+        assert row["speedup"] > 1.0, (
+            f"V={row['V']} rate={row['rate']}: sampled pipeline slower than "
+            f"the full fit ({row['fit_s']:.1f}s, speedup {row['speedup']:.2f}x)"
+        )
+    if quick:
+        return
+    gated = [r for r in rows if r["V"] >= 50_000 and r["rate"] == 0.1]
+    assert gated, "full mode must include the V >= 5e4, rate 0.1 entry"
+    for row in gated:
+        assert row["speedup"] >= MIN_SPEEDUP_AT_01, (
+            f"V={row['V']}: rate-0.1 speedup {row['speedup']:.1f}x below the "
+            f"{MIN_SPEEDUP_AT_01:.0f}x floor"
+        )
+        assert row["nmi_gap"] <= MAX_NMI_GAP_AT_01, (
+            f"V={row['V']}: rate-0.1 NMI {row['nmi']:.3f} trails the full "
+            f"fit by {row['nmi_gap']:.3f} (> {MAX_NMI_GAP_AT_01})"
+        )
+
+
+def _render(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        columns=[
+            "V", "E", "rate", "C", "fit_s", "speedup", "nmi", "nmi_gap",
+            "sampling_s", "extension_s", "finetune_s",
+        ],
+        title=(
+            f"SamBaS sample-extend-finetune vs full fit "
+            f"(DCSBM, C={NUM_COMMUNITIES}, mean degree {MEAN_DEGREE:.0f}, "
+            f"sampler {SAMPLER})"
+        ),
+    )
+
+
+def test_sampling_speedup(benchmark):
+    from benchmarks.conftest import run_once
+    from repro.bench.harness import BenchScale, current_scale
+
+    paper = current_scale() is BenchScale.PAPER
+    rows = run_once(benchmark, sampling_rows, FULL_SIZES if paper else QUICK_SIZES)
+    write_report("sampling", _render(rows))
+    _check_rows(rows, quick=not paper)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI smoke: V in {QUICK_SIZES}, no quality bound",
+    )
+    args = parser.parse_args(argv)
+    rows = sampling_rows(QUICK_SIZES if args.quick else FULL_SIZES)
+    write_report("sampling", _render(rows))
+    print(json.dumps(rows, indent=2))
+    _check_rows(rows, quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

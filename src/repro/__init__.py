@@ -83,6 +83,11 @@ from repro.io import (
     save_blockmodel,
     load_blockmodel,
 )
+from repro.sampling import (
+    SampledGraph,
+    available_samplers,
+    sample_graph,
+)
 from repro.diagnostics import SweepTrace, trace_from_result, run_health
 from repro.parallel import (
     get_backend,
@@ -156,6 +161,10 @@ __all__ = [
     "load_assignment",
     "save_blockmodel",
     "load_blockmodel",
+    # sampling
+    "SampledGraph",
+    "available_samplers",
+    "sample_graph",
     # diagnostics
     "SweepTrace",
     "trace_from_result",

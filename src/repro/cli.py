@@ -38,6 +38,7 @@ from repro.graph.properties import summarize
 from repro.mcmc.engine import available_variants, build_plan, get_variant_spec
 from repro.metrics.modularity import directed_modularity
 from repro.metrics.nmi import normalized_mutual_information
+from repro.sampling.samplers import available_samplers, get_sampler
 from repro.sbm.block_storage import available_block_storages, get_block_storage
 
 __all__ = ["main", "build_parser"]
@@ -100,13 +101,27 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["rebuild", "incremental"],
                         help="sweep-barrier engine: O(E) full recount or "
                              "O(deg(moved)) delta-apply (bit-identical results)")
-    detect.add_argument("--block-storage", default="dense",
+    detect.add_argument("--block-storage", default="auto",
                         choices=[*available_block_storages(), "auto"],
                         help="inter-block matrix engine: dense C x C arrays, "
                              "per-row sparse arrays, or the hybrid cached "
                              "engine (bit-identical results; memory/time "
-                             "trade-off); 'auto' picks dense/hybrid from the "
-                             "graph size and memory budget")
+                             "trade-off); 'auto' (the default) picks "
+                             "dense/hybrid from the graph size and memory "
+                             "budget")
+    detect.add_argument("--sample-rate", type=float, default=1.0,
+                        metavar="RATE",
+                        help="SamBaS front-end: fit on a ceil(RATE*V)-vertex "
+                             "sample, extend the partition to the full graph, "
+                             "fine-tune (1.0 = full-graph fit, the sampling "
+                             "front-end fully bypassed)")
+    detect.add_argument("--sampler", default="degree-weighted",
+                        choices=available_samplers(),
+                        help="vertex sampler for --sample-rate < 1.0")
+    detect.add_argument("--extension-batches", type=int, default=8,
+                        metavar="N",
+                        help="degree-descending barrier batches for the "
+                             "membership-extension pass")
     detect.add_argument("--time-budget", type=float, default=None,
                         metavar="SECONDS",
                         help="wall-clock budget for the whole detect; past it "
@@ -196,6 +211,9 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         merge_backend=args.merge_backend,
         update_strategy=args.update_strategy,
         block_storage=args.block_storage,
+        sample_rate=args.sample_rate,
+        sampler=args.sampler,
+        extension_batches=args.extension_batches,
         time_budget=args.time_budget,
         audit_cadence=args.audit_every,
     )
@@ -221,6 +239,9 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         "sweeps_total": sum(r.mcmc_sweeps for r in all_results),
         "interrupted": any(r.interrupted for r in all_results),
     }
+    if best.sample_rate < 1.0:
+        summary["sampler"] = best.sampler
+        summary["sample_rate"] = best.sample_rate
     if summary["interrupted"]:
         print(
             "note: run interrupted (time budget or SIGINT); reporting the "
@@ -365,6 +386,12 @@ def _cmd_registry(args: argparse.Namespace) -> int:
         (
             "update strategies (--update-strategy)",
             {n: _first_doc_line(f) for n, f in sorted(update_strategy_registry().items())},
+        ),
+        (
+            "samplers (--sampler, with --sample-rate < 1.0)",
+            {
+                n: get_sampler(n).summary for n in available_samplers()
+            },
         ),
         (
             "block storages (--block-storage)",

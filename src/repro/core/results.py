@@ -39,6 +39,12 @@ class SBPResult:
     #: the concrete storage engine the run used — records what the
     #: ``auto`` policy resolved to (empty on legacy archives).
     block_storage: str = ""
+    #: sampler registry name when the SamBaS front-end ran (empty for
+    #: plain full-graph runs and legacy archives).
+    sampler: str = ""
+    #: realized sample rate ``n / V`` after ceil/clamp; 1.0 for plain
+    #: runs and legacy archives.
+    sample_rate: float = 1.0
 
     @property
     def mcmc_seconds(self) -> float:
@@ -64,6 +70,8 @@ class SBPResult:
             "converged": self.converged,
             "interrupted": self.interrupted,
             "storage": self.block_storage,
+            "sampler": self.sampler,
+            "sample_rate": self.sample_rate,
         }
 
 

@@ -82,17 +82,54 @@ def run_sbp(
     call — reproducing the uninterrupted run's result bit-identically.
     (Per-sweep statistics of iterations completed before a crash are not
     reconstructed on resume; counters and the search history are.)
+
+    With ``config.sample_rate < 1.0`` the run is delegated to the SamBaS
+    sampling pipeline (:func:`repro.sampling.pipeline.run_sampled_sbp`):
+    fit the sample, extend, fine-tune. At the default ``1.0`` the
+    front-end is bypassed entirely and this function *is* the plain
+    full-graph search — bit-identical to the pre-sampling pipeline.
     """
     if config is None:
         config = SBPConfig()
     config = _resolve_storage_policy(graph, config)
+    if config.sample_rate < 1.0:
+        # Imported lazily: the pipeline imports this module back.
+        from repro.sampling.pipeline import run_sampled_sbp
+
+        return run_sampled_sbp(graph, config, checkpointer)
+    return _run_search(graph, config, checkpointer)
+
+
+def _run_search(
+    graph: Graph,
+    config: SBPConfig,
+    checkpointer: RunCheckpointer | None = None,
+    *,
+    warm_start: Blockmodel | None = None,
+    min_blocks: int = 1,
+) -> SBPResult:
+    """One golden-section agglomerative search (the ``run_sbp`` engine).
+
+    ``config.block_storage`` must already be resolved to a concrete
+    engine. With ``warm_start`` the search starts from a copy of that
+    blockmodel instead of the singleton partition and first *refines* it
+    with one MCMC phase at iteration tag 0 (a tag the outer loop, which
+    counts from 1, never uses) before the search consumes it — the
+    SamBaS fine-tune stage. ``min_blocks`` narrows the golden-section
+    bracket: the search never proposes fewer blocks, so a warm-started
+    fine-tune evaluates the warm block count and a single reduction
+    below it, then stops. With ``warm_start=None`` and ``min_blocks=1``
+    (the defaults) the code path is exactly the plain pipeline. On a
+    checkpoint resume the snapshot wins and ``warm_start`` is ignored —
+    the warm state is already baked into the snapshot's chain.
+    """
     backend_options = dict(config.backend_options)
     if "distributed" in config.backend:
         backend_options.setdefault("shard_loss_policy", config.shard_loss_policy)
     backend = get_backend(config.backend, **backend_options)
     timers = StopwatchPool()
     search = GoldenSectionSearch(
-        reduction_rate=config.block_reduction_rate, min_blocks=1
+        reduction_rate=config.block_reduction_rate, min_blocks=min_blocks
     )
     auditor = InvariantAuditor(config.audit_cadence, config.audit_self_heal)
     stop = StopGuard(config.time_budget)
@@ -103,6 +140,7 @@ def run_sbp(
     digest = config_digest(config)
 
     state = checkpointer.load() if checkpointer is not None else None
+    needs_warm_refine = False
     if state is not None:
         if state.config_digest != digest:
             raise CheckpointError(
@@ -125,14 +163,22 @@ def run_sbp(
         )
     else:
         with timers.section("other"):
-            bm = Blockmodel.singleton(graph, storage=config.block_storage)
+            bm = (
+                warm_start.copy()
+                if warm_start is not None
+                else Blockmodel.singleton(graph, storage=config.block_storage)
+            )
             mdl = bm.mdl(graph)
         outer = 0
         total_sweeps = 0
         search_history = []
-        if checkpointer is not None:
+        needs_warm_refine = warm_start is not None
+        if checkpointer is not None and not needs_warm_refine:
             # Initial snapshot: even a run interrupted before its first
             # iteration completes leaves a valid resume point on disk.
+            # (Warm starts snapshot after the refine phase instead, so a
+            # resume never replays the refine against a stale tag-0
+            # chain position.)
             checkpointer.save(_snapshot(
                 search, bm, mdl, outer, total_sweeps, search_history,
                 timers, digest,
@@ -144,6 +190,26 @@ def run_sbp(
     comm_report: dict | None = None
     try:
         with stop.install():
+            if needs_warm_refine:
+                # SamBaS fine-tune entry: refine the extended partition
+                # with full-graph sweeps before the narrowed search
+                # consumes it. Iteration tag 0 keeps this phase's
+                # randomness disjoint from the loop's (tags >= 1).
+                phase_stats = run_mcmc_phase(
+                    bm, graph, config, backend, 0, config.mcmc_threshold,
+                    timers, stop=stop,
+                )
+                total_sweeps += len(phase_stats)
+                all_stats.extend(phase_stats)
+                with timers.section("other"):
+                    bm.compact()
+                    mdl = bm.mdl(graph)
+                search_history.append((bm.num_blocks, mdl))
+                if checkpointer is not None and not stop.triggered:
+                    checkpointer.save(_snapshot(
+                        search, bm, mdl, outer, total_sweeps,
+                        search_history, timers, digest,
+                    ))
             while True:
                 step = search.update(bm, mdl)
                 if step.done:

@@ -99,6 +99,20 @@ class SBPConfig:
         picks dense/hybrid from (C, density, memory budget) at run
         start — before checkpoint digests are computed, so the digest
         records the decision.
+    sample_rate:
+        SamBaS sampling front-end (:mod:`repro.sampling`): fit the
+        golden-section search on a ``ceil(sample_rate * V)``-vertex
+        induced sample, extend the partition to the full graph by
+        argmax-ΔMDL insertion, then fine-tune with full-graph sweeps
+        warm-started from the extension. ``1.0`` (the default) bypasses
+        the front-end entirely — bit-identical to a plain run.
+    sampler:
+        Vertex sampler from the :mod:`repro.sampling.samplers` registry:
+        'uniform-random', 'degree-weighted' (default) or
+        'expansion-snowball'. Ignored at ``sample_rate=1.0``.
+    extension_batches:
+        Degree-descending barrier batches for the membership-extension
+        pass; later batches see earlier assignments.
     seed:
         Master seed; every random draw in the run derives from it.
     record_work:
@@ -136,7 +150,10 @@ class SBPConfig:
     shard_loss_policy: str = "recover"
     merge_backend: str = "vectorized"
     update_strategy: str = "incremental"
-    block_storage: str = "dense"
+    block_storage: str = "auto"
+    sample_rate: float = 1.0
+    sampler: str = "degree-weighted"
+    extension_batches: int = 8
     seed: int = 0
     record_work: bool = False
     max_outer_iterations: int = 120
@@ -173,6 +190,15 @@ class SBPConfig:
             raise ValueError("time_budget must be >= 0 (or None)")
         if self.audit_cadence < 0:
             raise ValueError("audit_cadence must be >= 0")
+        if not 0.0 < self.sample_rate <= 1.0:
+            raise ValueError("sample_rate must lie in (0, 1]")
+        if self.extension_batches < 1:
+            raise ValueError("extension_batches must be >= 1")
+        # Validated against the sampler registry (leaf module; the
+        # sampling pipeline itself is imported lazily by run_sbp).
+        from repro.sampling.samplers import get_sampler
+
+        self.sampler = get_sampler(self.sampler).name
         if self.shard_loss_policy not in ("recover", "degrade", "fail"):
             raise ValueError(
                 "shard_loss_policy must be 'recover', 'degrade' or 'fail', "

@@ -46,9 +46,12 @@ __all__ = [
 #: v3 added the memory gauges (peak_rss_bytes, b_nnz, b_density) to the
 #: timings block; v4 the resolved ``block_storage`` engine name; v5 the
 #: distributed wire counters (comm_messages, comm_bytes, comm_retries,
-#: frames_quarantined, shard_releases). Older files load the absent
-#: fields back as zero / empty.
-_RESULT_FORMAT_VERSION = 5
+#: frames_quarantined, shard_releases); v6 the SamBaS sampling fields
+#: (sampler name + realized sample_rate, and the sampling / extension /
+#: finetune stage splits in the timings block). Older files load the
+#: absent fields back as zero / empty (sample_rate as 1.0 — a legacy
+#: result is by definition a full-graph fit).
+_RESULT_FORMAT_VERSION = 6
 
 
 @contextmanager
@@ -127,6 +130,9 @@ def save_result(result: SBPResult, path: str | os.PathLike[str]) -> None:
             "merge_apply": result.timings.merge_apply,
             "barrier_rebuild": result.timings.barrier_rebuild,
             "barrier_apply": result.timings.barrier_apply,
+            "sampling": result.timings.sampling,
+            "extension": result.timings.extension,
+            "finetune": result.timings.finetune,
             "peak_rss_bytes": result.timings.peak_rss_bytes,
             "b_nnz": result.timings.b_nnz,
             "b_density": result.timings.b_density,
@@ -142,6 +148,8 @@ def save_result(result: SBPResult, path: str | os.PathLike[str]) -> None:
         "converged": result.converged,
         "interrupted": result.interrupted,
         "block_storage": result.block_storage,
+        "sampler": result.sampler,
+        "sample_rate": result.sample_rate,
     }
     with atomic_write(path) as fh:
         json.dump(payload, fh, indent=2)
@@ -172,6 +180,10 @@ def load_result(path: str | os.PathLike[str]) -> SBPResult:
                 merge_apply=float(timings.get("merge_apply", 0.0)),
                 barrier_rebuild=float(timings.get("barrier_rebuild", 0.0)),
                 barrier_apply=float(timings.get("barrier_apply", 0.0)),
+                # SamBaS stage splits arrived in v6.
+                sampling=float(timings.get("sampling", 0.0)),
+                extension=float(timings.get("extension", 0.0)),
+                finetune=float(timings.get("finetune", 0.0)),
                 # Memory gauges arrived in v3; absent keys read as zero.
                 peak_rss_bytes=int(timings.get("peak_rss_bytes", 0)),
                 b_nnz=int(timings.get("b_nnz", 0)),
@@ -189,6 +201,8 @@ def load_result(path: str | os.PathLike[str]) -> SBPResult:
             converged=bool(payload["converged"]),
             interrupted=bool(payload.get("interrupted", False)),  # absent in v1
             block_storage=str(payload.get("block_storage", "")),  # v4
+            sampler=str(payload.get("sampler", "")),  # v6
+            sample_rate=float(payload.get("sample_rate", 1.0)),  # v6
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"{path}: malformed result field ({exc!r})") from exc

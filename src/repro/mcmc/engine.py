@@ -154,6 +154,38 @@ def split_vertices_by_degree(
     return vstar, vminus
 
 
+def degree_descending_batches(
+    graph: Graph, vertices: IntArray, num_batches: int
+) -> list[IntArray]:
+    """Split ``vertices`` into contiguous degree-descending batches.
+
+    This is the batching contract of the sampling extension pass
+    (:mod:`repro.sampling.extension`): batches are barrier segments, so
+    every batch scores against counts frozen at the previous barrier and
+    later batches see earlier assignments. Ordering is (descending
+    degree, input order) — pass ascending ids for an id tie-break —
+    split by :func:`repro.parallel.partitioner.contiguous_chunks`.
+
+    Isolated-vertex guarantee: the batches *partition* the input.
+    Degree-0 vertices sort to the tail (the last, cheapest barriers) but
+    are never dropped — the same contract the degree selectors above
+    honour via their ceil-based rank boundaries. Verified explicitly
+    here because a silently dropped vertex would surface much later as
+    an unassigned ``-1`` in the extended partition.
+    """
+    if num_batches < 1:
+        raise ReproError(f"num_batches must be >= 1, got {num_batches}")
+    vertices = np.asarray(vertices, dtype=np.int64)
+    order = vertices[np.argsort(-graph.degree[vertices], kind="stable")]
+    batches = [
+        order[start:stop]
+        for start, stop in contiguous_chunks(order.shape[0], num_batches)
+    ]
+    if sum(b.shape[0] for b in batches) != vertices.shape[0]:
+        raise ReproError("degree batches must partition the vertex set")
+    return batches
+
+
 @dataclass(frozen=True)
 class AllVertices:
     """Every vertex, in ascending id order (the Alg. 2/3 traversal)."""

@@ -79,6 +79,12 @@ _DETERMINISM_FIELDS = (
     "block_reduction_rate",
     "update_strategy",
     "block_storage",
+    # SamBaS front-end: the sample (and therefore every later chain
+    # position) is a pure function of these, so a resume under a
+    # different rate/sampler/batching must be refused.
+    "sample_rate",
+    "sampler",
+    "extension_batches",
 )
 
 

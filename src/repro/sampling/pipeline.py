@@ -1,0 +1,211 @@
+"""The SamBaS pipeline: fit on a sample, extend, fine-tune.
+
+``run_sbp`` delegates here whenever ``config.sample_rate < 1.0``. The
+three stages (Wanye et al., arXiv:2108.06651):
+
+1. **Sample fit** — draw a deterministic vertex sample
+   (:func:`repro.sampling.samplers.sample_graph`) and run the existing
+   golden-section search on the induced subgraph, completely unchanged.
+2. **Membership extension** — lift the sample partition to the full
+   graph and assign every unsampled vertex to its argmax-ΔMDL block
+   against the frozen blockmodel
+   (:func:`repro.sampling.extension.extend_assignment`), in
+   degree-descending barrier batches.
+3. **Fine-tune** — a short full-graph search warm-started from the
+   extended partition, with the golden-section bracket narrowed to
+   ``min_blocks = max(1, round(B_s * block_reduction_rate))`` around the
+   sample's block count B_s: the search refines at B_s, evaluates one
+   reduction below it, and stops.
+
+Accounting: the whole sample stage (sampler + induce + sample-graph
+search) lands in ``PhaseTimings.sampling`` and the extension pass in
+``PhaseTimings.extension`` — both extra top-level stages counted in
+``total``. The fine-tune's own merge/MCMC/rebuild buckets become the
+result's standard buckets, with their sum mirrored in the ``finetune``
+sub-bucket. Sweep and iteration counters sum across stages; the
+per-stage splits, sampler name and realized rate are serialized as
+result-format v6 fields.
+
+Resilience: with a checkpointer, the sample fit snapshots under the
+``sample_fit`` child directory and the fine-tune under ``finetune`` —
+a killed pipeline resumes mid-stage bit-identically (the extension pass
+is cheap and deterministic, so it is simply recomputed). A sample fit
+cut short by SIGINT or the time budget still extends its best-so-far
+partition to the full graph, skips the fine-tune, and returns the
+extended partition flagged ``interrupted=True``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.results import SBPResult
+from repro.core.variants import SBPConfig
+from repro.graph.graph import Graph
+from repro.resilience.checkpoint import RunCheckpointer
+from repro.sampling.extension import extend_assignment
+from repro.sampling.samplers import sample_graph
+from repro.sbm.blockmodel import Blockmodel
+from repro.sbm.entropy import normalized_description_length
+from repro.types import PhaseTimings
+from repro.utils.log import get_logger
+from repro.utils.memory import peak_rss_bytes
+
+__all__ = ["run_sampled_sbp"]
+
+_log = get_logger("sampling.pipeline")
+
+
+def run_sampled_sbp(
+    graph: Graph,
+    config: SBPConfig,
+    checkpointer: RunCheckpointer | None = None,
+) -> SBPResult:
+    """Run the three-stage sampled pipeline (see module docstring).
+
+    ``config.sample_rate`` must be below 1.0 (``run_sbp`` bypasses this
+    module entirely at 1.0) and ``config.block_storage`` must already be
+    resolved to a concrete engine — ``run_sbp`` does both.
+    """
+    # Imported lazily in run_sbp's direction; direct import here would
+    # be circular at module load.
+    from repro.core.sbp import _run_search
+
+    started = time.monotonic()
+
+    # Stage 1: sample + fit. The sample-graph search is the stock
+    # golden-section search; its whole wall-clock (including its own
+    # merge/MCMC phases) is the front-end's "sampling" bucket.
+    stage_start = time.monotonic()
+    sampled = sample_graph(
+        graph, config.sample_rate, config.sampler, config.seed
+    )
+    _log.info(
+        "sampled %d/%d vertices (%.1f%%, sampler=%s, %d induced edges)",
+        sampled.num_sampled, graph.num_vertices,
+        100.0 * sampled.realized_rate, sampled.sampler,
+        sampled.graph.num_edges,
+    )
+    fit_checkpointer = (
+        checkpointer.child("sample_fit") if checkpointer is not None else None
+    )
+    fit = _run_search(sampled.graph, config, fit_checkpointer)
+    sampling_seconds = time.monotonic() - stage_start
+
+    # Stage 2: membership extension. Cheap, deterministic, recomputed on
+    # resume rather than checkpointed.
+    stage_start = time.monotonic()
+    partial = sampled.lift(fit.assignment)
+    extended = extend_assignment(
+        graph, partial, fit.num_blocks, config.extension_batches
+    )
+    warm = Blockmodel.from_assignment(
+        graph, extended, fit.num_blocks, storage=config.block_storage
+    )
+    extension_seconds = time.monotonic() - stage_start
+    _log.info(
+        "extended %d unsampled vertices into C=%d blocks (%.2fs)",
+        graph.num_vertices - sampled.num_sampled, fit.num_blocks,
+        extension_seconds,
+    )
+
+    remaining = None
+    if config.time_budget is not None:
+        remaining = max(config.time_budget - (time.monotonic() - started), 0.0)
+    if fit.interrupted or remaining == 0.0:
+        # Best-so-far: the extended partition, no fine-tune.
+        mdl = warm.mdl(graph)
+        timings = PhaseTimings(
+            sampling=sampling_seconds,
+            extension=extension_seconds,
+            peak_rss_bytes=peak_rss_bytes(),
+            b_nnz=warm.state.nnz,
+            b_density=warm.state.density,
+            comm_messages=fit.timings.comm_messages,
+            comm_bytes=fit.timings.comm_bytes,
+            comm_retries=fit.timings.comm_retries,
+            frames_quarantined=fit.timings.frames_quarantined,
+            shard_releases=fit.timings.shard_releases,
+        )
+        return SBPResult(
+            variant=str(config.variant),
+            assignment=warm.assignment,
+            num_blocks=warm.num_blocks,
+            mdl=mdl,
+            normalized_mdl=normalized_description_length(
+                mdl, graph.num_edges, graph.num_vertices
+            ),
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            timings=timings,
+            mcmc_sweeps=fit.mcmc_sweeps,
+            outer_iterations=fit.outer_iterations,
+            seed=config.seed,
+            converged=False,
+            interrupted=True,
+            sweep_stats=fit.sweep_stats if config.record_work else [],
+            search_history=fit.search_history,
+            block_storage=config.block_storage,
+            sampler=sampled.sampler,
+            sample_rate=sampled.realized_rate,
+        )
+
+    # Stage 3: warm-started fine-tune with the narrowed bracket.
+    min_blocks = max(1, int(round(fit.num_blocks * config.block_reduction_rate)))
+    fine_config = (
+        config if remaining is None else config.replace(time_budget=remaining)
+    )
+    fine_checkpointer = (
+        checkpointer.child("finetune") if checkpointer is not None else None
+    )
+    fine = _run_search(
+        graph, fine_config, fine_checkpointer,
+        warm_start=warm, min_blocks=min_blocks,
+    )
+
+    ft = fine.timings
+    timings = PhaseTimings(
+        block_merge=ft.block_merge,
+        mcmc=ft.mcmc,
+        rebuild=ft.rebuild,
+        other=ft.other,
+        merge_scan=ft.merge_scan,
+        merge_apply=ft.merge_apply,
+        barrier_rebuild=ft.barrier_rebuild,
+        barrier_apply=ft.barrier_apply,
+        sampling=sampling_seconds,
+        extension=extension_seconds,
+        finetune=ft.block_merge + ft.mcmc + ft.rebuild + ft.other,
+        peak_rss_bytes=max(fit.timings.peak_rss_bytes, ft.peak_rss_bytes),
+        b_nnz=ft.b_nnz,
+        b_density=ft.b_density,
+        comm_messages=fit.timings.comm_messages + ft.comm_messages,
+        comm_bytes=fit.timings.comm_bytes + ft.comm_bytes,
+        comm_retries=fit.timings.comm_retries + ft.comm_retries,
+        frames_quarantined=(
+            fit.timings.frames_quarantined + ft.frames_quarantined
+        ),
+        shard_releases=fit.timings.shard_releases + ft.shard_releases,
+    )
+    return SBPResult(
+        variant=str(config.variant),
+        assignment=fine.assignment,
+        num_blocks=fine.num_blocks,
+        mdl=fine.mdl,
+        normalized_mdl=fine.normalized_mdl,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        timings=timings,
+        mcmc_sweeps=fit.mcmc_sweeps + fine.mcmc_sweeps,
+        outer_iterations=fit.outer_iterations + fine.outer_iterations,
+        seed=config.seed,
+        converged=fit.converged and fine.converged,
+        interrupted=fine.interrupted,
+        sweep_stats=(
+            fit.sweep_stats + fine.sweep_stats if config.record_work else []
+        ),
+        search_history=fine.search_history,
+        block_storage=config.block_storage,
+        sampler=sampled.sampler,
+        sample_rate=sampled.realized_rate,
+    )

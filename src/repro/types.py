@@ -57,6 +57,18 @@ class PhaseTimings:
     density. ``merged_with`` keeps the max (a best-of protocol's peak is
     the max over member runs), unlike the time buckets which sum.
 
+    ``sampling`` and ``extension`` are the SamBaS front-end stages
+    (:mod:`repro.sampling`): drawing + fitting the sample (the whole
+    sample-graph search, including its own merge/MCMC time) and the
+    membership-extension pass. Both are *extra* top-level stages, so
+    they are included in ``total``. ``finetune`` is a sub-bucket: the
+    warm-started full-graph search *is* the run whose
+    block_merge/mcmc/rebuild/other buckets this object already holds,
+    so ``finetune`` (their sum) is excluded from ``total`` and exists
+    only to let reports split full-graph time from front-end time. All
+    three are zero for plain (``sample_rate=1.0``) runs and sum under
+    ``merged_with``.
+
     The ``comm_*`` counters are the distributed runtime's wire report
     (zero for single-process backends): point-to-point messages and
     total bytes framed onto the transport, frame retransmissions
@@ -75,6 +87,9 @@ class PhaseTimings:
     merge_apply: float = 0.0
     barrier_rebuild: float = 0.0
     barrier_apply: float = 0.0
+    sampling: float = 0.0
+    extension: float = 0.0
+    finetune: float = 0.0
     peak_rss_bytes: int = 0
     b_nnz: int = 0
     b_density: float = 0.0
@@ -86,7 +101,14 @@ class PhaseTimings:
 
     @property
     def total(self) -> float:
-        return self.block_merge + self.mcmc + self.rebuild + self.other
+        return (
+            self.block_merge
+            + self.mcmc
+            + self.rebuild
+            + self.other
+            + self.sampling
+            + self.extension
+        )
 
     @property
     def mcmc_fraction(self) -> float:
@@ -106,6 +128,9 @@ class PhaseTimings:
             merge_apply=self.merge_apply + other.merge_apply,
             barrier_rebuild=self.barrier_rebuild + other.barrier_rebuild,
             barrier_apply=self.barrier_apply + other.barrier_apply,
+            sampling=self.sampling + other.sampling,
+            extension=self.extension + other.extension,
+            finetune=self.finetune + other.finetune,
             peak_rss_bytes=max(self.peak_rss_bytes, other.peak_rss_bytes),
             b_nnz=max(self.b_nnz, other.b_nnz),
             b_density=max(self.b_density, other.b_density),
