@@ -1,0 +1,169 @@
+"""Streaming warm refit vs per-snapshot cold fit on a churning DCSBM.
+
+One synthetic-churn stream per size (fixed ground truth, 5% of the edge
+multiset turning over per snapshot). The same stream is fit twice
+through :class:`~repro.streaming.session.StreamSession`:
+
+* **cold baseline** — the ``always-cold`` drift policy refits every
+  snapshot from the singleton partition (what a user without the
+  streaming layer would do: rerun ``repro run`` per snapshot);
+* **warm** — the default ``mdl-ratio`` policy carries the previous
+  partition through the O(|batch|) edge-delta path and refits with a
+  narrowed golden-section bracket.
+
+Each row is one snapshot: wall-clock under both policies, the
+per-snapshot speedup, sweep counts, NMI against the planted truth and
+the consecutive-snapshot NMI (partition stability).
+
+Full mode (default) runs V = 1e4 with mean degree 20 and enforces the
+PR-9 acceptance bound: **≥ 5x mean per-snapshot speedup over snapshots
+1..N at 5% churn, with warm NMI within 0.05 of the snapshot-0 fit it
+carries forward**. (Independent cold restarts have high NMI variance —
+they land anywhere in 0.90..1.00 on this instance — so the quality
+floor is against the carried partition, whose quality a warm refit
+must preserve; the per-snapshot cold NMI is still reported per row.)
+``--quick`` (CI smoke) runs V = 2e3 and asserts only that every warm
+snapshot beats its cold twin on wall-clock.
+
+Headline numbers are archived in ``BENCH_streaming.json``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.reporting import format_table, write_report
+from repro.core.variants import SBPConfig
+from repro.metrics.nmi import normalized_mutual_information
+from repro.streaming import StreamSession, synthetic_churn_stream
+
+FULL_SIZES = [10_000]
+QUICK_SIZES = [2_000]
+NUM_SNAPSHOTS = 5
+CHURN = 0.05
+NUM_COMMUNITIES = 8
+WITHIN_BETWEEN = 10.0
+MEAN_DEGREE = 20.0
+GRAPH_SEED = 5
+FIT_SEED = 7
+#: PR-9 acceptance bounds, enforced on the V >= 1e4 entry (full mode)
+MIN_MEAN_SPEEDUP = 5.0
+MAX_NMI_GAP = 0.05
+
+
+def streaming_rows(sizes: list[int] | None = None) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for num_vertices in sizes if sizes is not None else FULL_SIZES:
+        stream = synthetic_churn_stream(
+            num_vertices=num_vertices,
+            num_communities=NUM_COMMUNITIES,
+            num_snapshots=NUM_SNAPSHOTS,
+            churn=CHURN,
+            within_between_ratio=WITHIN_BETWEEN,
+            mean_degree=MEAN_DEGREE,
+            seed=GRAPH_SEED,
+        )
+        config = SBPConfig(variant="a-sbp", seed=FIT_SEED)
+        cold = StreamSession(config, drift_policy="always-cold").run(stream)
+        warm = StreamSession(config, drift_policy="mdl-ratio").run(stream)
+        for cold_snap, warm_snap in zip(cold.snapshots, warm.snapshots):
+            rows.append(
+                {
+                    "V": num_vertices,
+                    "E": stream.graph.num_edges,
+                    "snapshot": warm_snap.index,
+                    "mode": warm_snap.result.refit_mode,
+                    "drift": warm_snap.result.drift,
+                    "C": warm_snap.result.num_blocks,
+                    "cold_s": cold_snap.seconds,
+                    "warm_s": warm_snap.seconds,
+                    "speedup": cold_snap.seconds / warm_snap.seconds,
+                    "cold_sweeps": cold_snap.result.mcmc_sweeps,
+                    "warm_sweeps": warm_snap.result.mcmc_sweeps,
+                    "nmi_cold": normalized_mutual_information(
+                        stream.truth, cold_snap.result.assignment
+                    ),
+                    "nmi_warm": normalized_mutual_information(
+                        stream.truth, warm_snap.result.assignment
+                    ),
+                    "nmi_prev": warm_snap.result.nmi_prev,
+                }
+            )
+    return rows
+
+
+def _check_rows(rows: list[dict[str, object]], quick: bool) -> None:
+    refits = [r for r in rows if r["snapshot"] > 0]
+    assert refits, "stream must contain at least one refit snapshot"
+    for row in refits:
+        assert row["speedup"] > 1.0, (
+            f"V={row['V']} snapshot {row['snapshot']}: warm refit slower "
+            f"than the cold fit ({row['warm_s']:.1f}s vs {row['cold_s']:.1f}s)"
+        )
+    if quick:
+        return
+    gated = [r for r in refits if r["V"] >= 10_000]
+    assert gated, "full mode must include the V >= 1e4 stream"
+    mean_speedup = sum(r["speedup"] for r in gated) / len(gated)
+    assert mean_speedup >= MIN_MEAN_SPEEDUP, (
+        f"mean per-snapshot speedup {mean_speedup:.1f}x below the "
+        f"{MIN_MEAN_SPEEDUP:.0f}x floor at {CHURN:.0%} churn"
+    )
+    baseline = {
+        r["V"]: r["nmi_warm"] for r in rows if r["snapshot"] == 0
+    }
+    for row in gated:
+        gap = baseline[row["V"]] - row["nmi_warm"]
+        assert gap <= MAX_NMI_GAP, (
+            f"V={row['V']} snapshot {row['snapshot']}: warm NMI "
+            f"{row['nmi_warm']:.3f} trails the carried snapshot-0 fit "
+            f"by {gap:.3f} (> {MAX_NMI_GAP})"
+        )
+
+
+def _render(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        columns=[
+            "V", "E", "snapshot", "mode", "drift", "C", "cold_s", "warm_s",
+            "speedup", "cold_sweeps", "warm_sweeps", "nmi_cold", "nmi_warm",
+            "nmi_prev",
+        ],
+        title=(
+            f"Streaming warm refit vs cold refit per snapshot "
+            f"(DCSBM, C={NUM_COMMUNITIES}, mean degree {MEAN_DEGREE:.0f}, "
+            f"{CHURN:.0%} churn, {NUM_SNAPSHOTS} snapshots)"
+        ),
+    )
+
+
+def test_streaming_speedup(benchmark):
+    from benchmarks.conftest import run_once
+    from repro.bench.harness import BenchScale, current_scale
+
+    paper = current_scale() is BenchScale.PAPER
+    rows = run_once(
+        benchmark, streaming_rows, FULL_SIZES if paper else QUICK_SIZES
+    )
+    write_report("streaming", _render(rows))
+    _check_rows(rows, quick=not paper)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI smoke: V in {QUICK_SIZES}, no speedup floor",
+    )
+    args = parser.parse_args(argv)
+    rows = streaming_rows(QUICK_SIZES if args.quick else FULL_SIZES)
+    write_report("streaming", _render(rows))
+    print(json.dumps(rows, indent=2))
+    _check_rows(rows, quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,7 @@ Commands
 ``detect``    run a registered variant on a graph file, write communities
 ``compare``   run several variants on one graph, print a comparison table
 ``generate``  write a corpus graph / custom DCSBM / real-world stand-in
+``stream``    fit a snapshot stream with warm refits + drift fallback
 ``info``      print graph statistics
 ``registry``  list every pluggable-engine registry and its entries
 ``variants``  deprecated alias for the variants section of ``registry``
@@ -40,6 +41,8 @@ from repro.metrics.modularity import directed_modularity
 from repro.metrics.nmi import normalized_mutual_information
 from repro.sampling.samplers import available_samplers, get_sampler
 from repro.sbm.block_storage import available_block_storages, get_block_storage
+from repro.streaming.drift import available_drift_policies, get_drift_policy
+from repro.streaming.source import available_stream_sources, get_stream_source
 
 __all__ = ["main", "build_parser"]
 
@@ -167,6 +170,55 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--truth-output",
                           help="write ground-truth communities here (if known)")
 
+    stream = sub.add_parser(
+        "stream",
+        help="fit an edge stream: warm refit per snapshot, cold fit on drift",
+    )
+    stream.add_argument("--source", default="synthetic-churn",
+                        choices=available_stream_sources(),
+                        help="stream source: a churning planted DCSBM or a "
+                             "directory of edge-list snapshot files")
+    stream.add_argument("--input", metavar="DIR",
+                        help="snapshot directory for --source edgelist-dir")
+    stream.add_argument("--vertices", type=int, default=1000,
+                        help="synthetic-churn: vertex count")
+    stream.add_argument("--communities", type=int, default=8,
+                        help="synthetic-churn: planted community count")
+    stream.add_argument("--snapshots", type=int, default=5,
+                        help="synthetic-churn: snapshots incl. the initial "
+                             "graph")
+    stream.add_argument("--churn", type=float, default=0.05,
+                        help="synthetic-churn: fraction of edges replaced per "
+                             "snapshot")
+    stream.add_argument("--mean-degree", type=float, default=10.0,
+                        help="synthetic-churn: mean degree of the base graph")
+    stream.add_argument("--ratio", type=float, default=5.0,
+                        help="synthetic-churn: within:between rate ratio")
+    stream.add_argument("--variant", default="h-sbp",
+                        choices=available_variants())
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--block-storage", default="auto",
+                        choices=[*available_block_storages(), "auto"])
+    stream.add_argument("--drift-policy", default="mdl-ratio",
+                        choices=available_drift_policies(),
+                        help="warm-vs-cold rule per snapshot (see "
+                             "'repro registry --list')")
+    stream.add_argument("--drift-threshold", type=float, default=0.05,
+                        help="relative normalized-MDL drift of the carried "
+                             "partition above which the snapshot cold-fits")
+    stream.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget for the whole stream; past it "
+                             "the completed snapshots are reported")
+    stream.add_argument("--checkpoint", metavar="DIR",
+                        help="checkpoint directory; completed snapshots and "
+                             "the in-flight search persist here, and a rerun "
+                             "resumes mid-snapshot")
+    stream.add_argument("--output", metavar="FILE",
+                        help="write the stream result JSON (v7 format) here")
+    stream.add_argument("--json", action="store_true",
+                        help="print a JSON summary instead of a table")
+
     info = sub.add_parser("info", help="print graph statistics")
     info.add_argument("graph")
 
@@ -184,7 +236,8 @@ def build_parser() -> argparse.ArgumentParser:
     registry = sub.add_parser(
         "registry",
         help="list every pluggable-engine registry (variants, execution "
-             "backends, merge backends, update strategies, block storages)",
+             "backends, merge backends, update strategies, samplers, block "
+             "storages, transports, drift policies, stream sources)",
     )
     registry.add_argument("--list", action="store_true", dest="list_all",
                           help="print every registry section "
@@ -322,6 +375,86 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.streaming import StreamSession
+
+    spec = get_stream_source(args.source)
+    if args.source == "edgelist-dir":
+        if not args.input:
+            print("error: --source edgelist-dir requires --input DIR",
+                  file=sys.stderr)
+            return 2
+        stream = spec.build(args.input)
+    else:
+        stream = spec.build(
+            num_vertices=args.vertices,
+            num_communities=args.communities,
+            num_snapshots=args.snapshots,
+            churn=args.churn,
+            within_between_ratio=args.ratio,
+            mean_degree=args.mean_degree,
+            seed=args.seed,
+        )
+    config = SBPConfig(
+        variant=args.variant,
+        seed=args.seed,
+        block_storage=args.block_storage,
+        time_budget=args.time_budget,
+    )
+    checkpointer = None
+    if args.checkpoint:
+        from repro.resilience import RunCheckpointer
+
+        checkpointer = RunCheckpointer(args.checkpoint)
+    session = StreamSession(
+        config,
+        drift_policy=args.drift_policy,
+        drift_threshold=args.drift_threshold,
+        checkpointer=checkpointer,
+    )
+    result = session.run(stream)
+    summary = {
+        "source": args.source,
+        "snapshots": len(result.snapshots),
+        "warm_refits": result.warm_refits,
+        "cold_fits": result.cold_fits,
+        "drift_policy": result.drift_policy,
+        "drift_threshold": result.drift_threshold,
+        "final_blocks": result.final.num_blocks,
+        "final_normalized_mdl": result.final.normalized_mdl,
+        "interrupted": result.interrupted,
+    }
+    if stream.truth is not None:
+        summary["final_nmi_vs_truth"] = normalized_mutual_information(
+            stream.truth, result.final.assignment[: len(stream.truth)]
+        )
+    if result.interrupted:
+        print(
+            "note: stream interrupted (time budget or SIGINT); reporting the "
+            "completed snapshots"
+            + (f"; resume with --checkpoint {args.checkpoint}"
+               if args.checkpoint else ""),
+            file=sys.stderr,
+        )
+    if args.json:
+        summary["per_snapshot"] = result.summary_rows()
+        print(json.dumps(summary, indent=2))
+    else:
+        print(format_table(
+            result.summary_rows(),
+            title=f"stream: {args.source} ({args.drift_policy}, "
+                  f"threshold {args.drift_threshold})",
+        ))
+        for key, value in summary.items():
+            print(f"{key:22s} {value}")
+    if args.output:
+        from repro.io.serialize import save_stream_result
+
+        save_stream_result(result, args.output)
+        print(f"wrote stream result to {args.output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     stats = summarize(graph)
@@ -365,6 +498,7 @@ def _first_doc_line(obj: object) -> str:
 
 
 def _cmd_registry(args: argparse.Namespace) -> int:
+    from repro.distributed.comm import transport_registry
     from repro.parallel.backend import (
         backend_registry,
         merge_backend_registry,
@@ -404,6 +538,27 @@ def _cmd_registry(args: argparse.Namespace) -> int:
                         "(C, density, memory budget) at run start.",
             },
         ),
+        (
+            "transports (--backend distributed:<transport>:<ranks>)",
+            {
+                n: _first_doc_line(f)
+                for n, f in sorted(transport_registry().items())
+            },
+        ),
+        (
+            "drift policies (stream --drift-policy)",
+            {
+                n: get_drift_policy(n).summary
+                for n in available_drift_policies()
+            },
+        ),
+        (
+            "stream sources (stream --source)",
+            {
+                n: get_stream_source(n).summary
+                for n in available_stream_sources()
+            },
+        ),
     ]
     print(f"variants (--variant): {len(available_variants())} registered")
     _print_variants(args)
@@ -425,6 +580,7 @@ def main(argv: list[str] | None = None) -> int:
         "detect": _cmd_detect,
         "compare": _cmd_compare,
         "generate": _cmd_generate,
+        "stream": _cmd_stream,
         "info": _cmd_info,
         "variants": _cmd_variants,
         "registry": _cmd_registry,

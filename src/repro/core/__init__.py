@@ -4,6 +4,7 @@ from repro.core.variants import Variant, SBPConfig
 from repro.core.results import SBPResult, best_of
 from repro.core.merge import block_merge_phase
 from repro.core.partition_search import GoldenSectionSearch
+from repro.core.fit_session import FitSession
 from repro.core.sbp import run_sbp, run_best_of, run_mcmc_phase
 
 __all__ = [
@@ -13,6 +14,7 @@ __all__ = [
     "best_of",
     "block_merge_phase",
     "GoldenSectionSearch",
+    "FitSession",
     "run_sbp",
     "run_best_of",
     "run_mcmc_phase",

@@ -45,6 +45,18 @@ class SBPResult:
     #: realized sample rate ``n / V`` after ceil/clamp; 1.0 for plain
     #: runs and legacy archives.
     sample_rate: float = 1.0
+    #: how a streaming snapshot's fit started: "warm" (delta-carried
+    #: partition refined with a narrowed search), "cold" (drift exceeded
+    #: the policy threshold, full search from singleton). Empty for
+    #: non-streaming runs and legacy archives.
+    refit_mode: str = ""
+    #: relative normalized-MDL drift of the carried-forward partition on
+    #: the mutated graph that drove the warm-vs-cold decision; 0.0 for
+    #: non-streaming runs.
+    drift: float = 0.0
+    #: NMI against the previous snapshot's partition (consecutive-snapshot
+    #: stability); -1.0 when there is no previous snapshot.
+    nmi_prev: float = -1.0
 
     @property
     def mcmc_seconds(self) -> float:
@@ -72,6 +84,9 @@ class SBPResult:
             "storage": self.block_storage,
             "sampler": self.sampler,
             "sample_rate": self.sample_rate,
+            "refit_mode": self.refit_mode,
+            "drift": self.drift,
+            "nmi_prev": self.nmi_prev,
         }
 
 

@@ -6,6 +6,12 @@ golden-section search until the MDL is minimized. ``run_best_of``
 repeats a run with derived seeds and keeps the lowest-MDL result, the
 paper's §4.2 protocol.
 
+Both drivers are thin callers over the unified fit engine
+(:class:`repro.core.fit_session.FitSession`), which owns cold fits,
+warm refits from a prior partition, the refinement-MCMC entry point,
+and interrupted best-so-far semantics. They remain bit-identical to the
+pre-FitSession pipeline (golden-trajectory CI gates enforce this).
+
 Both drivers are resilient (see :mod:`repro.resilience`): passing a
 :class:`~repro.resilience.checkpoint.RunCheckpointer` snapshots the
 outer-loop state atomically after every agglomerative iteration and
@@ -21,29 +27,27 @@ from __future__ import annotations
 
 import time
 
-from repro.core.merge import block_merge_phase
-from repro.core.partition_search import GoldenSectionSearch
+from repro.core.fit_session import FitSession, resolve_storage_policy
 from repro.core.results import SBPResult, best_of
 from repro.core.variants import SBPConfig
-from repro.errors import CheckpointError
 from repro.graph.graph import Graph
 from repro.mcmc.engine import SweepEngine, build_plan
-from repro.parallel.backend import ExecutionBackend, get_backend
-from repro.resilience.audit import InvariantAuditor
-from repro.resilience.checkpoint import RunCheckpoint, RunCheckpointer, config_digest
+from repro.parallel.backend import ExecutionBackend
+from repro.resilience.checkpoint import RunCheckpointer, config_digest
 from repro.resilience.interrupt import StopGuard
-from repro.sbm.block_storage import resolve_block_storage
 from repro.sbm.blockmodel import Blockmodel
-from repro.sbm.entropy import normalized_description_length
-from repro.types import PhaseTimings, SweepStats
+from repro.types import SweepStats
 from repro.utils.log import get_logger
-from repro.utils.memory import peak_rss_bytes
 from repro.utils.rng import spawn_seeds
 from repro.utils.timer import StopwatchPool
 
 __all__ = ["run_sbp", "run_best_of", "run_mcmc_phase"]
 
 _log = get_logger("core.sbp")
+
+# Back-compat alias: the storage resolver grew up and moved into the fit
+# engine; older call sites (and tests) reach it under this name.
+_resolve_storage_policy = resolve_storage_policy
 
 
 def run_mcmc_phase(
@@ -91,13 +95,13 @@ def run_sbp(
     """
     if config is None:
         config = SBPConfig()
-    config = _resolve_storage_policy(graph, config)
+    config = resolve_storage_policy(graph, config)
     if config.sample_rate < 1.0:
         # Imported lazily: the pipeline imports this module back.
         from repro.sampling.pipeline import run_sampled_sbp
 
         return run_sampled_sbp(graph, config, checkpointer)
-    return _run_search(graph, config, checkpointer)
+    return FitSession(graph, config, checkpointer).cold_fit()
 
 
 def _run_search(
@@ -108,261 +112,14 @@ def _run_search(
     warm_start: Blockmodel | None = None,
     min_blocks: int = 1,
 ) -> SBPResult:
-    """One golden-section agglomerative search (the ``run_sbp`` engine).
+    """Back-compat shim over :meth:`FitSession.run` (the old engine name).
 
     ``config.block_storage`` must already be resolved to a concrete
-    engine. With ``warm_start`` the search starts from a copy of that
-    blockmodel instead of the singleton partition and first *refines* it
-    with one MCMC phase at iteration tag 0 (a tag the outer loop, which
-    counts from 1, never uses) before the search consumes it — the
-    SamBaS fine-tune stage. ``min_blocks`` narrows the golden-section
-    bracket: the search never proposes fewer blocks, so a warm-started
-    fine-tune evaluates the warm block count and a single reduction
-    below it, then stops. With ``warm_start=None`` and ``min_blocks=1``
-    (the defaults) the code path is exactly the plain pipeline. On a
-    checkpoint resume the snapshot wins and ``warm_start`` is ignored —
-    the warm state is already baked into the snapshot's chain.
+    engine, exactly as before — :class:`FitSession` re-resolving a
+    concrete name is a no-op.
     """
-    backend_options = dict(config.backend_options)
-    if "distributed" in config.backend:
-        backend_options.setdefault("shard_loss_policy", config.shard_loss_policy)
-    backend = get_backend(config.backend, **backend_options)
-    timers = StopwatchPool()
-    search = GoldenSectionSearch(
-        reduction_rate=config.block_reduction_rate, min_blocks=min_blocks
-    )
-    auditor = InvariantAuditor(config.audit_cadence, config.audit_self_heal)
-    stop = StopGuard(config.time_budget)
-    if hasattr(backend, "bind_stop_guard"):
-        # The distributed runtime's degrade policy stops the run between
-        # sweeps instead of raising, yielding a best-so-far result.
-        backend.bind_stop_guard(stop)
-    digest = config_digest(config)
-
-    state = checkpointer.load() if checkpointer is not None else None
-    needs_warm_refine = False
-    if state is not None:
-        if state.config_digest != digest:
-            raise CheckpointError(
-                f"{checkpointer.directory}: checkpoint was written by an "
-                "incompatible configuration (seed/variant/chain parameters "
-                "differ); refusing to resume"
-            )
-        bm = state.bm
-        mdl = state.mdl
-        outer = state.outer
-        total_sweeps = state.total_sweeps
-        search_history = list(state.search_history)
-        state.restore_search(search)
-        for name, seconds in state.timings.items():
-            timers.add(name, seconds)
-        _log.info(
-            "resumed [%s] from %s at iteration %d (C=%d, mdl=%.2f)",
-            str(config.variant), checkpointer.directory, outer,
-            bm.num_blocks, mdl,
-        )
-    else:
-        with timers.section("other"):
-            bm = (
-                warm_start.copy()
-                if warm_start is not None
-                else Blockmodel.singleton(graph, storage=config.block_storage)
-            )
-            mdl = bm.mdl(graph)
-        outer = 0
-        total_sweeps = 0
-        search_history = []
-        needs_warm_refine = warm_start is not None
-        if checkpointer is not None and not needs_warm_refine:
-            # Initial snapshot: even a run interrupted before its first
-            # iteration completes leaves a valid resume point on disk.
-            # (Warm starts snapshot after the refine phase instead, so a
-            # resume never replays the refine against a stale tag-0
-            # chain position.)
-            checkpointer.save(_snapshot(
-                search, bm, mdl, outer, total_sweeps, search_history,
-                timers, digest,
-            ))
-
-    all_stats: list[SweepStats] = []
-    converged = False
-    interrupted = False
-    comm_report: dict | None = None
-    try:
-        with stop.install():
-            if needs_warm_refine:
-                # SamBaS fine-tune entry: refine the extended partition
-                # with full-graph sweeps before the narrowed search
-                # consumes it. Iteration tag 0 keeps this phase's
-                # randomness disjoint from the loop's (tags >= 1).
-                phase_stats = run_mcmc_phase(
-                    bm, graph, config, backend, 0, config.mcmc_threshold,
-                    timers, stop=stop,
-                )
-                total_sweeps += len(phase_stats)
-                all_stats.extend(phase_stats)
-                with timers.section("other"):
-                    bm.compact()
-                    mdl = bm.mdl(graph)
-                search_history.append((bm.num_blocks, mdl))
-                if checkpointer is not None and not stop.triggered:
-                    checkpointer.save(_snapshot(
-                        search, bm, mdl, outer, total_sweeps,
-                        search_history, timers, digest,
-                    ))
-            while True:
-                step = search.update(bm, mdl)
-                if step.done:
-                    converged = True
-                    break
-                if outer >= config.max_outer_iterations:
-                    break
-                if stop.triggered:
-                    interrupted = True
-                    break
-                outer += 1
-                assert step.start is not None
-                with timers.section("block_merge"):
-                    bm = block_merge_phase(
-                        step.start, graph, step.num_merges, config, outer,
-                        timers=timers,
-                    )
-                if config.validate:
-                    bm.check_consistency(graph)
-                threshold = (
-                    config.mcmc_threshold_final
-                    if search.bracket_established
-                    else config.mcmc_threshold
-                )
-                phase_stats = run_mcmc_phase(
-                    bm, graph, config, backend, outer, threshold, timers,
-                    stop=stop,
-                )
-                total_sweeps += len(phase_stats)
-                all_stats.extend(phase_stats)
-                with timers.section("other"):
-                    bm.compact()
-                    mdl = bm.mdl(graph)
-                mdl = auditor.guard_mdl(mdl, bm, graph, outer)
-                if auditor.due(outer):
-                    with timers.section("other"):
-                        auditor.audit(bm, graph, outer)
-                        mdl = bm.mdl(graph)  # a heal may have changed B
-                search_history.append((bm.num_blocks, mdl))
-                _log.info(
-                    "iter %d [%s]: C=%d mdl=%.2f sweeps=%d (%s)",
-                    outer, str(config.variant), bm.num_blocks, mdl,
-                    len(phase_stats),
-                    "golden" if search.bracket_established else "halving",
-                )
-                # Only fully-converged iterations are checkpointed: a
-                # phase cut short by the stop guard would resume from a
-                # different point in the chain than a clean rerun.
-                if checkpointer is not None and not stop.triggered:
-                    checkpointer.save(_snapshot(
-                        search, bm, mdl, outer, total_sweeps,
-                        search_history, timers, digest,
-                    ))
-    finally:
-        # Harvest the wire report before close() tears the transport down.
-        if hasattr(backend, "comm_report"):
-            comm_report = backend.comm_report()
-        backend.close()
-
-    if comm_report is not None and comm_report.get("degraded"):
-        # A shard died under the 'degrade' policy: the survivors finished
-        # the run, but the chain is no longer the reference chain.
-        interrupted = True
-
-    best = search.best.copy()
-    best.compact()
-    best_mdl = search.best_mdl
-    _log.info(
-        "%s [%s]: C=%d mdl=%.2f after %d iterations / %d sweeps "
-        "(merge %.2fs, mcmc %.2fs, rebuild %.2fs)",
-        "interrupted" if interrupted else "done",
-        str(config.variant), best.num_blocks, best_mdl, outer, total_sweeps,
-        timers.elapsed("block_merge"), timers.elapsed("mcmc"),
-        timers.elapsed("rebuild"),
-    )
-    timings = PhaseTimings(
-        block_merge=timers.elapsed("block_merge"),
-        mcmc=timers.elapsed("mcmc"),
-        rebuild=timers.elapsed("rebuild"),
-        other=timers.elapsed("other"),
-        merge_scan=timers.elapsed("merge_scan"),
-        merge_apply=timers.elapsed("merge_apply"),
-        barrier_rebuild=timers.elapsed("barrier_rebuild"),
-        barrier_apply=timers.elapsed("barrier_apply"),
-        peak_rss_bytes=peak_rss_bytes(),
-        b_nnz=best.state.nnz,
-        b_density=best.state.density,
-        comm_messages=int((comm_report or {}).get("p2p_messages", 0)),
-        comm_bytes=int((comm_report or {}).get("total_bytes", 0)),
-        comm_retries=int((comm_report or {}).get("retries", 0)),
-        frames_quarantined=int((comm_report or {}).get("frames_quarantined", 0)),
-        shard_releases=int((comm_report or {}).get("shard_releases", 0)),
-    )
-    return SBPResult(
-        variant=str(config.variant),
-        assignment=best.assignment,
-        num_blocks=best.num_blocks,
-        mdl=best_mdl,
-        normalized_mdl=normalized_description_length(
-            best_mdl, graph.num_edges, graph.num_vertices
-        ),
-        num_vertices=graph.num_vertices,
-        num_edges=graph.num_edges,
-        timings=timings,
-        mcmc_sweeps=total_sweeps,
-        outer_iterations=outer,
-        seed=config.seed,
-        converged=converged,
-        interrupted=interrupted,
-        sweep_stats=all_stats if config.record_work else [],
-        search_history=search_history,
-        block_storage=config.block_storage,
-    )
-
-
-def _resolve_storage_policy(graph: Graph, config: SBPConfig) -> SBPConfig:
-    """Resolve ``block_storage="auto"`` to a concrete engine for ``graph``.
-
-    Must run before any :func:`config_digest` evaluation: the digest
-    then records the *decision* (a pure function of V, E and the budget
-    env), so checkpoints written under ``auto`` resume interchangeably
-    with the equivalent explicit config and refuse a genuinely different
-    engine.
-    """
-    resolved, reason = resolve_block_storage(
-        config.block_storage, graph.num_vertices, graph.num_edges
-    )
-    if resolved != config.block_storage:
-        _log.info("block_storage=auto -> %r (%s)", resolved, reason)
-        config = config.replace(block_storage=resolved)
-    return config
-
-
-def _snapshot(
-    search: GoldenSectionSearch,
-    bm: Blockmodel,
-    mdl: float,
-    outer: int,
-    total_sweeps: int,
-    search_history: list[tuple[int, float]],
-    timers: StopwatchPool,
-    digest: str,
-) -> RunCheckpoint:
-    return RunCheckpoint(
-        outer=outer,
-        total_sweeps=total_sweeps,
-        bm=bm.copy(),
-        mdl=mdl,
-        anchors=search.export_anchors(),
-        search_history=list(search_history),
-        timings=timers.snapshot(),
-        config_digest=digest,
-    )
+    session = FitSession(graph, config, checkpointer)
+    return session.run(warm_start=warm_start, min_blocks=min_blocks)
 
 
 def run_best_of(
@@ -388,7 +145,7 @@ def run_best_of(
         config = SBPConfig()
     # Resolve the auto storage policy once, up front, so the per-member
     # digests below match what run_sbp computes for the same member.
-    config = _resolve_storage_policy(graph, config)
+    config = resolve_storage_policy(graph, config)
     seeds = spawn_seeds(config.seed, runs)
     deadline = (
         time.monotonic() + config.time_budget

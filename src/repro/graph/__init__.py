@@ -1,6 +1,7 @@
 """Directed-graph substrate: CSR storage, construction, IO and statistics."""
 
 from repro.graph.graph import Graph
+from repro.graph.stream import EdgeBatch, apply_edge_batch
 from repro.graph.builder import GraphBuilder
 from repro.graph.io import (
     read_edge_list,
@@ -21,6 +22,8 @@ from repro.graph.transforms import (
 
 __all__ = [
     "Graph",
+    "EdgeBatch",
+    "apply_edge_batch",
     "GraphBuilder",
     "read_edge_list",
     "read_weighted_edge_list",

@@ -37,6 +37,8 @@ __all__ = [
     "atomic_write",
     "save_result",
     "load_result",
+    "save_stream_result",
+    "load_stream_result",
     "save_assignment",
     "load_assignment",
     "save_blockmodel",
@@ -48,10 +50,13 @@ __all__ = [
 #: distributed wire counters (comm_messages, comm_bytes, comm_retries,
 #: frames_quarantined, shard_releases); v6 the SamBaS sampling fields
 #: (sampler name + realized sample_rate, and the sampling / extension /
-#: finetune stage splits in the timings block). Older files load the
-#: absent fields back as zero / empty (sample_rate as 1.0 — a legacy
-#: result is by definition a full-graph fit).
-_RESULT_FORMAT_VERSION = 6
+#: finetune stage splits in the timings block); v7 the streaming fields
+#: (refit_mode, drift, nmi_prev) and the stream-result container format
+#: (per-snapshot timings and warm-vs-cold decisions). Older files load
+#: the absent fields back as zero / empty (sample_rate as 1.0 — a legacy
+#: result is by definition a full-graph fit; nmi_prev as -1.0 — no
+#: previous snapshot).
+_RESULT_FORMAT_VERSION = 7
 
 
 @contextmanager
@@ -109,11 +114,9 @@ def _check_version(path: str | os.PathLike[str], payload: dict, supported: int) 
     return version
 
 
-def save_result(result: SBPResult, path: str | os.PathLike[str]) -> None:
-    """Serialize an :class:`SBPResult` (sweep stats excluded) as JSON."""
-    payload = {
-        "format": "repro.sbp_result",
-        "version": _RESULT_FORMAT_VERSION,
+def _result_payload(result: SBPResult) -> dict:
+    """The version-free body shared by result and stream-result files."""
+    return {
         "variant": result.variant,
         "assignment": result.assignment.tolist(),
         "num_blocks": result.num_blocks,
@@ -150,15 +153,24 @@ def save_result(result: SBPResult, path: str | os.PathLike[str]) -> None:
         "block_storage": result.block_storage,
         "sampler": result.sampler,
         "sample_rate": result.sample_rate,
+        "refit_mode": result.refit_mode,
+        "drift": result.drift,
+        "nmi_prev": result.nmi_prev,
+    }
+
+
+def save_result(result: SBPResult, path: str | os.PathLike[str]) -> None:
+    """Serialize an :class:`SBPResult` (sweep stats excluded) as JSON."""
+    payload = {
+        "format": "repro.sbp_result",
+        "version": _RESULT_FORMAT_VERSION,
+        **_result_payload(result),
     }
     with atomic_write(path) as fh:
         json.dump(payload, fh, indent=2)
 
 
-def load_result(path: str | os.PathLike[str]) -> SBPResult:
-    """Load a result saved by :func:`save_result`."""
-    payload = _load_json(path, "repro.sbp_result")
-    _check_version(path, payload, _RESULT_FORMAT_VERSION)
+def _result_from_payload(path, payload: dict) -> SBPResult:
     try:
         timings = payload["timings"]
         return SBPResult(
@@ -203,9 +215,81 @@ def load_result(path: str | os.PathLike[str]) -> SBPResult:
             block_storage=str(payload.get("block_storage", "")),  # v4
             sampler=str(payload.get("sampler", "")),  # v6
             sample_rate=float(payload.get("sample_rate", 1.0)),  # v6
+            refit_mode=str(payload.get("refit_mode", "")),  # v7
+            drift=float(payload.get("drift", 0.0)),  # v7
+            nmi_prev=float(payload.get("nmi_prev", -1.0)),  # v7
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"{path}: malformed result field ({exc!r})") from exc
+
+
+def load_result(path: str | os.PathLike[str]) -> SBPResult:
+    """Load a result saved by :func:`save_result`."""
+    payload = _load_json(path, "repro.sbp_result")
+    _check_version(path, payload, _RESULT_FORMAT_VERSION)
+    return _result_from_payload(path, payload)
+
+
+def save_stream_result(stream, path: str | os.PathLike[str]) -> None:
+    """Serialize a :class:`~repro.streaming.session.StreamResult` as JSON.
+
+    The container embeds one v7 result payload per snapshot (assignment
+    included, so any snapshot's partition can be recovered) plus the
+    stream-level decisions: warm-vs-cold counts, per-snapshot drift and
+    consecutive-snapshot NMI, and the batch sizes that produced each
+    snapshot.
+    """
+    payload = {
+        "format": "repro.stream_result",
+        "version": _RESULT_FORMAT_VERSION,
+        "num_snapshots": len(stream.snapshots),
+        "warm_refits": stream.warm_refits,
+        "cold_fits": stream.cold_fits,
+        "drift_policy": stream.drift_policy,
+        "drift_threshold": stream.drift_threshold,
+        "snapshots": [
+            {
+                "index": snap.index,
+                "edges_added": snap.edges_added,
+                "edges_removed": snap.edges_removed,
+                "seconds": snap.seconds,
+                "result": _result_payload(snap.result),
+            }
+            for snap in stream.snapshots
+        ],
+    }
+    with atomic_write(path) as fh:
+        json.dump(payload, fh, indent=2)
+
+
+def load_stream_result(path: str | os.PathLike[str]):
+    """Load a stream result saved by :func:`save_stream_result`."""
+    from repro.streaming.session import SnapshotReport, StreamResult
+
+    payload = _load_json(path, "repro.stream_result")
+    _check_version(path, payload, _RESULT_FORMAT_VERSION)
+    try:
+        snapshots = [
+            SnapshotReport(
+                index=int(entry["index"]),
+                edges_added=int(entry["edges_added"]),
+                edges_removed=int(entry["edges_removed"]),
+                seconds=float(entry["seconds"]),
+                result=_result_from_payload(path, entry["result"]),
+            )
+            for entry in payload["snapshots"]
+        ]
+        return StreamResult(
+            snapshots=snapshots,
+            warm_refits=int(payload["warm_refits"]),
+            cold_fits=int(payload["cold_fits"]),
+            drift_policy=str(payload["drift_policy"]),
+            drift_threshold=float(payload["drift_threshold"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"{path}: malformed stream result field ({exc!r})"
+        ) from exc
 
 
 def save_assignment(assignment: Assignment, path: str | os.PathLike[str]) -> None:

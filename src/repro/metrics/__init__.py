@@ -17,7 +17,12 @@ from repro.metrics.influence import (
 )
 from repro.metrics.correlation import CorrelationFit, fit_correlation
 from repro.metrics.ari import adjusted_rand_index
-from repro.metrics.alignment import PartitionAlignment, align_partitions
+from repro.metrics.alignment import (
+    PartitionAlignment,
+    align_partitions,
+    PartitionStability,
+    consecutive_stability,
+)
 
 __all__ = [
     "contingency_table",
@@ -35,6 +40,8 @@ __all__ = [
     "adjusted_rand_index",
     "PartitionAlignment",
     "align_partitions",
+    "PartitionStability",
+    "consecutive_stability",
     "CorrelationFit",
     "fit_correlation",
 ]

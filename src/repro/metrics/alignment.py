@@ -17,7 +17,12 @@ import numpy as np
 from repro.metrics.nmi import contingency_table
 from repro.types import Assignment, IntArray
 
-__all__ = ["PartitionAlignment", "align_partitions"]
+__all__ = [
+    "PartitionAlignment",
+    "align_partitions",
+    "PartitionStability",
+    "consecutive_stability",
+]
 
 
 @dataclass(frozen=True)
@@ -73,4 +78,39 @@ def align_partitions(
         overlap=overlap,
         accuracy=overlap / reference.shape[0] if reference.size else 1.0,
         confusion=table,
+    )
+
+
+@dataclass(frozen=True)
+class PartitionStability:
+    """Consecutive-snapshot stability of a streaming partition."""
+
+    nmi: float          #: permutation-invariant agreement in [0, 1]
+    accuracy: float     #: agreement after Hungarian alignment
+    num_compared: int   #: vertices present in both snapshots
+
+
+def consecutive_stability(
+    previous: Assignment, current: Assignment
+) -> PartitionStability:
+    """Stability of ``current`` against the previous snapshot's partition.
+
+    Streams only grow the vertex set, so the comparison runs over the
+    common prefix (the vertices both snapshots label); newborn vertices
+    are excluded — they have no previous label to be stable against.
+    """
+    from repro.metrics.nmi import normalized_mutual_information
+
+    previous = np.asarray(previous, dtype=np.int64)
+    current = np.asarray(current, dtype=np.int64)
+    n = min(previous.shape[0], current.shape[0])
+    if n == 0:
+        return PartitionStability(nmi=1.0, accuracy=1.0, num_compared=0)
+    prev_common = previous[:n]
+    curr_common = current[:n]
+    aligned = align_partitions(prev_common, curr_common)
+    return PartitionStability(
+        nmi=normalized_mutual_information(prev_common, curr_common),
+        accuracy=aligned.accuracy,
+        num_compared=n,
     )

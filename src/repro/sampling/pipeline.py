@@ -12,10 +12,16 @@ three stages (Wanye et al., arXiv:2108.06651):
    (:func:`repro.sampling.extension.extend_assignment`), in
    degree-descending barrier batches.
 3. **Fine-tune** — a short full-graph search warm-started from the
-   extended partition, with the golden-section bracket narrowed to
-   ``min_blocks = max(1, round(B_s * block_reduction_rate))`` around the
-   sample's block count B_s: the search refines at B_s, evaluates one
-   reduction below it, and stops.
+   extended partition via :meth:`repro.core.fit_session.FitSession.\
+warm_refit`: the golden-section bracket is floored at
+   ``FitSession.narrowed_min_blocks(B_s, block_reduction_rate)`` around
+   the sample's block count B_s, so the search refines at B_s,
+   evaluates one reduction below it, and stops.
+
+Every search here runs through :class:`~repro.core.fit_session.\
+FitSession` — the warm-start mechanics (bracket floor, refinement MCMC
+at iteration tag 0, interrupted best-so-far fallback) live on the
+session, not in this module.
 
 Accounting: the whole sample stage (sampler + induce + sample-graph
 search) lands in ``PhaseTimings.sampling`` and the extension pass in
@@ -38,7 +44,9 @@ extended partition flagged ``interrupted=True``.
 from __future__ import annotations
 
 import time
+from dataclasses import replace as dc_replace
 
+from repro.core.fit_session import FitSession
 from repro.core.results import SBPResult
 from repro.core.variants import SBPConfig
 from repro.graph.graph import Graph
@@ -46,10 +54,8 @@ from repro.resilience.checkpoint import RunCheckpointer
 from repro.sampling.extension import extend_assignment
 from repro.sampling.samplers import sample_graph
 from repro.sbm.blockmodel import Blockmodel
-from repro.sbm.entropy import normalized_description_length
 from repro.types import PhaseTimings
 from repro.utils.log import get_logger
-from repro.utils.memory import peak_rss_bytes
 
 __all__ = ["run_sampled_sbp"]
 
@@ -67,10 +73,6 @@ def run_sampled_sbp(
     module entirely at 1.0) and ``config.block_storage`` must already be
     resolved to a concrete engine — ``run_sbp`` does both.
     """
-    # Imported lazily in run_sbp's direction; direct import here would
-    # be circular at module load.
-    from repro.core.sbp import _run_search
-
     started = time.monotonic()
 
     # Stage 1: sample + fit. The sample-graph search is the stock
@@ -89,7 +91,7 @@ def run_sampled_sbp(
     fit_checkpointer = (
         checkpointer.child("sample_fit") if checkpointer is not None else None
     )
-    fit = _run_search(sampled.graph, config, fit_checkpointer)
+    fit = FitSession(sampled.graph, config, fit_checkpointer).cold_fit()
     sampling_seconds = time.monotonic() - stage_start
 
     # Stage 2: membership extension. Cheap, deterministic, recomputed on
@@ -113,55 +115,41 @@ def run_sampled_sbp(
     if config.time_budget is not None:
         remaining = max(config.time_budget - (time.monotonic() - started), 0.0)
     if fit.interrupted or remaining == 0.0:
-        # Best-so-far: the extended partition, no fine-tune.
-        mdl = warm.mdl(graph)
+        # Best-so-far: the extended partition, no fine-tune. The session
+        # packages it; the sampling-specific accounting rides on top.
         timings = PhaseTimings(
             sampling=sampling_seconds,
             extension=extension_seconds,
-            peak_rss_bytes=peak_rss_bytes(),
-            b_nnz=warm.state.nnz,
-            b_density=warm.state.density,
             comm_messages=fit.timings.comm_messages,
             comm_bytes=fit.timings.comm_bytes,
             comm_retries=fit.timings.comm_retries,
             frames_quarantined=fit.timings.frames_quarantined,
             shard_releases=fit.timings.shard_releases,
         )
-        return SBPResult(
-            variant=str(config.variant),
-            assignment=warm.assignment,
-            num_blocks=warm.num_blocks,
-            mdl=mdl,
-            normalized_mdl=normalized_description_length(
-                mdl, graph.num_edges, graph.num_vertices
-            ),
-            num_vertices=graph.num_vertices,
-            num_edges=graph.num_edges,
+        partial_result = FitSession(graph, config).partition_result(
+            warm,
             timings=timings,
+            interrupted=True,
             mcmc_sweeps=fit.mcmc_sweeps,
             outer_iterations=fit.outer_iterations,
-            seed=config.seed,
-            converged=False,
-            interrupted=True,
             sweep_stats=fit.sweep_stats if config.record_work else [],
             search_history=fit.search_history,
-            block_storage=config.block_storage,
+        )
+        return dc_replace(
+            partial_result,
             sampler=sampled.sampler,
             sample_rate=sampled.realized_rate,
         )
 
-    # Stage 3: warm-started fine-tune with the narrowed bracket.
-    min_blocks = max(1, int(round(fit.num_blocks * config.block_reduction_rate)))
+    # Stage 3: warm-started fine-tune with the narrowed bracket (the
+    # floor rule lives on FitSession.narrowed_min_blocks).
     fine_config = (
         config if remaining is None else config.replace(time_budget=remaining)
     )
     fine_checkpointer = (
         checkpointer.child("finetune") if checkpointer is not None else None
     )
-    fine = _run_search(
-        graph, fine_config, fine_checkpointer,
-        warm_start=warm, min_blocks=min_blocks,
-    )
+    fine = FitSession(graph, fine_config, fine_checkpointer).warm_refit(warm)
 
     ft = fine.timings
     timings = PhaseTimings(

@@ -31,6 +31,7 @@ from repro.sbm.incremental import (
     RebuildUpdater,
     IncrementalUpdater,
     apply_sweep_delta,
+    apply_edge_delta,
 )
 
 __all__ = [
@@ -60,4 +61,5 @@ __all__ = [
     "RebuildUpdater",
     "IncrementalUpdater",
     "apply_sweep_delta",
+    "apply_edge_delta",
 ]

@@ -73,9 +73,17 @@ class Blockmodel:
     num_blocks:
         The matrix dimension C. Blocks may be empty after moves; use
         :meth:`compact` to drop them.
+    delta_epoch:
+        Monotonic counter bumped whenever the state is rewritten without
+        per-move notification (:meth:`apply_edge_delta`, :meth:`rebuild`);
+        caches keyed on matrix rows (``ProposalCache``) compare it to
+        drop stale entries.
     """
 
-    __slots__ = ("state", "d_out", "d_in", "d", "assignment", "num_blocks")
+    __slots__ = (
+        "state", "d_out", "d_in", "d", "assignment", "num_blocks",
+        "delta_epoch",
+    )
 
     def __init__(
         self,
@@ -94,6 +102,7 @@ class Blockmodel:
         self.d = d_out + d_in
         self.assignment = assignment
         self.num_blocks = num_blocks
+        self.delta_epoch = 0
 
     @property
     def B(self) -> np.ndarray:
@@ -178,6 +187,7 @@ class Blockmodel:
         self.d_out = self.state.row_sums()
         self.d_in = self.state.col_sums()
         self.d = self.d_out + self.d_in
+        self.delta_epoch += 1
 
     # ------------------------------------------------------------------
     # State transitions
@@ -233,6 +243,20 @@ class Blockmodel:
         from repro.sbm.incremental import apply_sweep_delta
 
         apply_sweep_delta(self, graph, moved_vertices, moved_targets)
+
+    def apply_edge_delta(self, batch) -> None:
+        """Apply an :class:`~repro.graph.stream.EdgeBatch` in place.
+
+        The streaming barrier: the assignment stays fixed while the
+        graph's edge multiset changes. Scatter-subtracts the removed
+        edges' block pairs and scatter-adds the added ones through the
+        storage engine — O(|batch|), bit-identical to rebuilding from
+        the mutated graph; see
+        :func:`repro.sbm.incremental.apply_edge_delta`.
+        """
+        from repro.sbm.incremental import apply_edge_delta
+
+        apply_edge_delta(self, batch)
 
     def merge_blocks(self, r: int, s: int) -> None:
         """Merge block ``r`` into block ``s`` in place (Alg. 1 apply step).

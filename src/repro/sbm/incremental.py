@@ -51,6 +51,7 @@ from repro.utils.timer import StopwatchPool
 
 __all__ = [
     "apply_sweep_delta",
+    "apply_edge_delta",
     "ProposalCache",
     "RebuildUpdater",
     "IncrementalUpdater",
@@ -131,6 +132,57 @@ def apply_sweep_delta(
     _K.index_add(bm.d, moved_targets, deg)
 
 
+def apply_edge_delta(bm: Blockmodel, batch) -> None:
+    """Apply an :class:`~repro.graph.stream.EdgeBatch` to ``bm`` in place.
+
+    The streaming analogue of :func:`apply_sweep_delta`: where the sweep
+    barrier moves vertices across blocks on a fixed graph, an edge delta
+    keeps the assignment fixed and changes the graph. Both reduce to the
+    same storage primitive — ``state.scatter_edges`` subtracts the
+    removed edges' block pairs and adds the added edges', O(|batch|)
+    instead of the O(E) recount of :meth:`Blockmodel.rebuild` against
+    the new graph. Exactly equal to that recount (int64 arithmetic),
+    which the streaming equivalence tests assert byte-for-byte on all
+    three engines.
+
+    ``bm`` afterwards describes the graph ``apply_edge_batch(graph,
+    batch)`` returns; build that graph separately for MDL evaluation.
+    A batch that grows ``num_vertices`` must have the new vertices
+    already present in ``bm.assignment`` (extend the assignment and
+    use :meth:`Blockmodel.from_assignment` for growth snapshots).
+
+    Bumps ``bm.delta_epoch`` so degree/CDF caches holding pre-delta
+    rows (:class:`ProposalCache`) know to drop them.
+    """
+    batch = batch.normalized()
+    assignment = bm.assignment
+    num_vertices = assignment.shape[0]
+    for edges, label in ((batch.add, "added"), (batch.remove, "removed")):
+        if edges.size and edges.max() >= num_vertices:
+            raise ValueError(
+                f"{label} edge endpoints exceed the assignment "
+                f"({num_vertices} vertices); extend the assignment first"
+            )
+    rem_src = assignment[batch.remove[:, 0]]
+    rem_dst = assignment[batch.remove[:, 1]]
+    add_src = assignment[batch.add[:, 0]]
+    add_dst = assignment[batch.add[:, 1]]
+
+    bm.state.scatter_edges(rem_src, rem_dst, add_src, add_dst)
+
+    ones_rem = np.ones(rem_src.shape[0], dtype=np.int64)
+    ones_add = np.ones(add_src.shape[0], dtype=np.int64)
+    _K.index_sub(bm.d_out, rem_src, ones_rem)
+    _K.index_sub(bm.d_in, rem_dst, ones_rem)
+    _K.index_add(bm.d_out, add_src, ones_add)
+    _K.index_add(bm.d_in, add_dst, ones_add)
+    _K.index_sub(bm.d, rem_src, ones_rem)
+    _K.index_sub(bm.d, rem_dst, ones_rem)
+    _K.index_add(bm.d, add_src, ones_add)
+    _K.index_add(bm.d, add_dst, ones_add)
+    bm.delta_epoch += 1
+
+
 class ProposalCache:
     """Per-sweep cache of symmetrized proposal-row CDF views.
 
@@ -157,7 +209,9 @@ class ProposalCache:
       every write).
     """
 
-    __slots__ = ("_bm", "_cdfs", "_versioned", "_state", "hits", "misses")
+    __slots__ = (
+        "_bm", "_cdfs", "_versioned", "_state", "_epoch", "hits", "misses",
+    )
 
     def __init__(self, bm: Blockmodel) -> None:
         self._bm = bm
@@ -165,12 +219,21 @@ class ProposalCache:
             getattr(bm.state, "tracks_line_versions", False)
         )
         self._state = bm.state
+        self._epoch = bm.delta_epoch
         # block -> RowCDF (eager) or block -> (version, RowCDF) (lazy).
         self._cdfs: dict[int, object] = {}
         self.hits = 0
         self.misses = 0
 
     def row_cdf(self, u: int) -> RowCDF:
+        if self._bm.delta_epoch != self._epoch:
+            # An edge delta (or rebuild) rewrote cells without a move
+            # notification; every cached row may be stale. The lazy
+            # protocol would catch in-place scatters via line versions,
+            # but a rebuild swaps the state object and restarts its
+            # counters, so the epoch guard covers both protocols.
+            self._cdfs.clear()
+            self._epoch = self._bm.delta_epoch
         state = self._bm.state
         if self._versioned:
             if state is not self._state:
