@@ -6,9 +6,16 @@ Commands
 ``compare``   run several variants on one graph, print a comparison table
 ``generate``  write a corpus graph / custom DCSBM / real-world stand-in
 ``stream``    fit a snapshot stream with warm refits + drift fallback
-``info``      print graph statistics
+``serve``     run the partition service: store + queue + worker pool + HTTP
+``info``      print graph statistics (including the content digest)
 ``registry``  list every pluggable-engine registry and its entries
 ``variants``  deprecated alias for the variants section of ``registry``
+
+``detect`` and ``compare`` are thin callers of the service job engine
+(:func:`repro.service.jobs.execute_job`): the work is described as a
+:class:`~repro.service.jobs.JobSpec` and executed through the one shared
+path, so an optional ``--store DIR`` turns repeat invocations into
+byte-identical cache loads.
 
 Graph files are whitespace edge lists (``src dst`` per line, ``#``
 comments) or MatrixMarket ``.mtx``; format is chosen by extension.
@@ -23,7 +30,6 @@ import sys
 import numpy as np
 
 from repro.bench.reporting import format_table
-from repro.core.sbp import run_best_of
 from repro.core.variants import SBPConfig
 from repro.generators.corpus import SYNTHETIC_SPECS, generate_synthetic
 from repro.generators.dcsbm import DCSBMParams, generate_dcsbm
@@ -41,6 +47,15 @@ from repro.metrics.modularity import directed_modularity
 from repro.metrics.nmi import normalized_mutual_information
 from repro.sampling.samplers import available_samplers, get_sampler
 from repro.sbm.block_storage import available_block_storages, get_block_storage
+from repro.service import (
+    JobSpec,
+    available_job_queues,
+    available_result_stores,
+    execute_job,
+    get_job_queue,
+    get_result_store,
+)
+from repro.service.store import DiskResultStore
 from repro.streaming.drift import available_drift_policies, get_drift_policy
 from repro.streaming.source import available_stream_sources, get_stream_source
 
@@ -137,6 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--audit-every", type=int, default=0, metavar="N",
                         help="run the self-healing invariant audit every N "
                              "agglomerative iterations (0 = off)")
+    detect.add_argument("--store", metavar="DIR",
+                        help="content-addressed result store directory; a "
+                             "prior run of the same (graph, config, runs) "
+                             "loads its byte-identical result instead of "
+                             "re-running MCMC")
     detect.add_argument("--output", help="write 'vertex community' lines here")
     detect.add_argument("--json", action="store_true",
                         help="print a JSON summary instead of text")
@@ -149,6 +169,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--truth",
                          help="optional 'vertex community' file for NMI scoring")
+    compare.add_argument("--store", metavar="DIR",
+                         help="content-addressed result store directory "
+                              "(cache hits skip re-running a variant)")
 
     generate = sub.add_parser("generate", help="generate a synthetic graph")
     source = generate.add_mutually_exclusive_group(required=True)
@@ -219,6 +242,40 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--json", action="store_true",
                         help="print a JSON summary instead of a table")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the partition service: content-addressed store, leased "
+             "job queue, worker pool and stdlib-HTTP endpoints "
+             "(/submit /status /result /report /health)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="orchestrator worker threads")
+    serve.add_argument("--store", default="disk",
+                       choices=available_result_stores(),
+                       help="result store engine (see 'repro registry --list')")
+    serve.add_argument("--store-dir", default=".repro-store", metavar="DIR",
+                       help="disk store root (ignored by --store memory)")
+    serve.add_argument("--store-budget-mb", type=float, default=None,
+                       metavar="MB",
+                       help="store size budget; least-recently-used results "
+                            "are evicted past it (default: unbounded)")
+    serve.add_argument("--queue", default="fifo",
+                       choices=available_job_queues(),
+                       help="job queue pick order")
+    serve.add_argument("--lease-ttl", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="job lease TTL; a worker that stops heartbeating "
+                            "for this long loses its job to a survivor")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="lease issues before a repeatedly-dying job is "
+                            "marked failed")
+    serve.add_argument("--checkpoint", metavar="DIR",
+                       help="per-job checkpoint root so a re-leased job "
+                            "resumes instead of restarting")
+
     info = sub.add_parser("info", help="print graph statistics")
     info.add_argument("graph")
 
@@ -237,7 +294,8 @@ def build_parser() -> argparse.ArgumentParser:
         "registry",
         help="list every pluggable-engine registry (variants, execution "
              "backends, merge backends, update strategies, samplers, block "
-             "storages, transports, drift policies, stream sources)",
+             "storages, transports, drift policies, stream sources, result "
+             "stores, job queues)",
     )
     registry.add_argument("--list", action="store_true", dest="list_all",
                           help="print every registry section "
@@ -248,6 +306,10 @@ def build_parser() -> argparse.ArgumentParser:
     registry.add_argument("--tier-split", type=float, default=0.5)
 
     return parser
+
+
+def _open_store(directory: str | None) -> DiskResultStore | None:
+    return DiskResultStore(directory) if directory else None
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
@@ -275,9 +337,11 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         from repro.resilience import RunCheckpointer
 
         checkpointer = RunCheckpointer(args.checkpoint)
-    best, all_results = run_best_of(
-        graph, config, runs=args.runs, checkpointer=checkpointer
+    spec = JobSpec.for_graph(graph, config, runs=args.runs)
+    outcome = execute_job(
+        spec, store=_open_store(args.store), checkpointer=checkpointer
     )
+    best, all_results = outcome.best, outcome.results
     summary = {
         "graph": args.graph,
         "V": graph.num_vertices,
@@ -290,11 +354,13 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         "modularity": directed_modularity(graph, best.assignment),
         "mcmc_seconds_total": sum(r.mcmc_seconds for r in all_results),
         "sweeps_total": sum(r.mcmc_sweeps for r in all_results),
-        "interrupted": any(r.interrupted for r in all_results),
+        "interrupted": outcome.interrupted,
     }
     if best.sample_rate < 1.0:
         summary["sampler"] = best.sampler
         summary["sample_rate"] = best.sample_rate
+    if outcome.cache_hit:
+        summary["cached"] = True
     if summary["interrupted"]:
         print(
             "note: run interrupted (time budget or SIGINT); reporting the "
@@ -323,11 +389,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         pairs = np.loadtxt(args.truth, dtype=np.int64, comments="#")
         truth = np.full(graph.num_vertices, -1, dtype=np.int64)
         truth[pairs[:, 0]] = pairs[:, 1]
+    store = _open_store(args.store)
     rows = []
     for name in args.variants.split(","):
         name = name.strip()
         config = SBPConfig(variant=name, seed=args.seed)
-        best, all_results = run_best_of(graph, config, runs=args.runs)
+        outcome = execute_job(
+            JobSpec.for_graph(graph, config, runs=args.runs), store=store
+        )
+        best, all_results = outcome.best, outcome.results
         row: dict[str, object] = {
             "variant": name,
             "blocks": best.num_blocks,
@@ -455,11 +525,40 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import PartitionService
+
+    budget = (
+        int(args.store_budget_mb * 1_000_000)
+        if args.store_budget_mb is not None
+        else None
+    )
+    store_factory = get_result_store(args.store)
+    if args.store == "memory":
+        store = store_factory(size_budget_bytes=budget)
+    else:
+        store = store_factory(args.store_dir, size_budget_bytes=budget)
+    queue = get_job_queue(args.queue)(
+        lease_ttl=args.lease_ttl, max_attempts=args.max_attempts
+    )
+    service = PartitionService(
+        store,
+        queue,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        checkpoint_root=args.checkpoint,
+    )
+    service.serve_forever()
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     stats = summarize(graph)
     for key, value in stats.as_row().items():
         print(f"{key:16s} {value}")
+    print(f"{'digest':16s} {graph.digest()}")
     return 0
 
 
@@ -559,6 +658,20 @@ def _cmd_registry(args: argparse.Namespace) -> int:
                 for n in available_stream_sources()
             },
         ),
+        (
+            "result stores (serve --store, detect/compare --store)",
+            {
+                n: _first_doc_line(get_result_store(n))
+                for n in available_result_stores()
+            },
+        ),
+        (
+            "job queues (serve --queue)",
+            {
+                n: _first_doc_line(get_job_queue(n))
+                for n in available_job_queues()
+            },
+        ),
     ]
     print(f"variants (--variant): {len(available_variants())} registered")
     _print_variants(args)
@@ -581,6 +694,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "generate": _cmd_generate,
         "stream": _cmd_stream,
+        "serve": _cmd_serve,
         "info": _cmd_info,
         "variants": _cmd_variants,
         "registry": _cmd_registry,

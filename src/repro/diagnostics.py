@@ -92,12 +92,16 @@ class SweepTrace:
         }
 
 
-def run_health(result: SBPResult) -> dict[str, object]:
+def run_health(result: SBPResult, store=None) -> dict[str, object]:
     """Triage summary for a finished (or interrupted) run.
 
     Flat dict for logs/dashboards: did the search converge, was it cut
     short, and is the reported MDL actually usable (finite, below the
     null model)? ``ok`` is the single rollup bit operators alert on.
+
+    Pass the service's :class:`~repro.service.store.ResultStore` as
+    ``store`` to fold its cache accounting (entries, bytes, hits,
+    misses, puts, evictions) into the rollup under ``"store"``.
 
     Distributed runs additionally surface the wire's fault accounting
     (frame retransmissions, quarantined frames, shard re-lease events).
@@ -136,7 +140,7 @@ def run_health(result: SBPResult) -> dict[str, object]:
             f"{timings.shard_releases} shard re-lease event(s): dead rank(s) "
             "had their vertices re-leased to survivors"
         )
-    return {
+    out: dict[str, object] = {
         "ok": not problems,
         "converged": result.converged,
         "interrupted": result.interrupted,
@@ -150,6 +154,9 @@ def run_health(result: SBPResult) -> dict[str, object]:
         "problems": problems,
         "warnings": warnings,
     }
+    if store is not None:
+        out["store"] = store.health()
+    return out
 
 
 def trace_from_result(result: SBPResult) -> SweepTrace:

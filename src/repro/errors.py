@@ -22,6 +22,9 @@ __all__ = [
     "SerializationError",
     "CheckpointError",
     "FaultInjected",
+    "ServiceError",
+    "UnknownJobError",
+    "LeaseError",
 ]
 
 
@@ -109,3 +112,17 @@ class FaultInjected(BackendError):
     Subclasses :class:`BackendError` so injected worker crashes flow
     through the same retry/fallback paths as real backend failures.
     """
+
+
+class ServiceError(ReproError):
+    """Raised by the partition service layer (job engine, queue, server)."""
+
+
+class UnknownJobError(ServiceError):
+    """Raised when a job id is not present in the queue or store."""
+
+
+class LeaseError(ServiceError):
+    """Raised on an invalid lease operation: heartbeating or completing a
+    job whose lease expired and was re-issued to another worker, or
+    leasing in a state that forbids it."""

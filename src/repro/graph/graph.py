@@ -15,6 +15,8 @@ millions of times per run.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.errors import GraphValidationError
@@ -55,6 +57,7 @@ class Graph:
         "in_degree",
         "degree",
         "self_loops",
+        "_digest",
     )
 
     def __init__(self, num_vertices: int, edges: EdgeList) -> None:
@@ -76,6 +79,7 @@ class Graph:
         self.num_vertices: int = num_vertices
         self.num_edges: int = int(edges.shape[0])
         self.edges: EdgeList = edges
+        self._digest: str | None = None  # computed lazily, graph is immutable
 
         src = edges[:, 0]
         dst = edges[:, 1]
@@ -143,6 +147,24 @@ class Graph:
 
     def __hash__(self) -> int:
         return hash((self.num_vertices, self.num_edges))
+
+    def digest(self) -> str:
+        """sha256 content address of ``(V, canonical edge multiset)``.
+
+        Two graphs share a digest iff they are equal under :meth:`__eq__`:
+        the edge list is canonicalized (lexicographically sorted) before
+        hashing, so edge *order* never matters, while the vertex count is
+        hashed explicitly, so isolated vertices always do. The digest is
+        the graph half of a service job's content address (the config
+        half is :func:`~repro.resilience.checkpoint.config_digest`).
+        """
+        if self._digest is None:
+            h = hashlib.sha256()
+            h.update(np.int64(self.num_vertices).tobytes())
+            canonical = _canonical_edges(self.edges).astype("<i8", copy=False)
+            h.update(np.ascontiguousarray(canonical).tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     @property
     def density(self) -> float:

@@ -37,6 +37,10 @@ __all__ = [
     "atomic_write",
     "save_result",
     "load_result",
+    "result_payload",
+    "result_from_payload",
+    "stream_payload",
+    "stream_from_payload",
     "save_stream_result",
     "load_stream_result",
     "save_assignment",
@@ -114,8 +118,13 @@ def _check_version(path: str | os.PathLike[str], payload: dict, supported: int) 
     return version
 
 
-def _result_payload(result: SBPResult) -> dict:
-    """The version-free body shared by result and stream-result files."""
+def result_payload(result: SBPResult) -> dict:
+    """The version-free result body shared by every artifact embedding one.
+
+    Used by plain result files, the stream-result container and the
+    service result store — all of them tag the payload with the shared
+    format version so old files keep loading.
+    """
     return {
         "variant": result.variant,
         "assignment": result.assignment.tolist(),
@@ -164,13 +173,18 @@ def save_result(result: SBPResult, path: str | os.PathLike[str]) -> None:
     payload = {
         "format": "repro.sbp_result",
         "version": _RESULT_FORMAT_VERSION,
-        **_result_payload(result),
+        **result_payload(result),
     }
     with atomic_write(path) as fh:
         json.dump(payload, fh, indent=2)
 
 
-def _result_from_payload(path, payload: dict) -> SBPResult:
+def result_from_payload(path, payload: dict) -> SBPResult:
+    """Rebuild an :class:`SBPResult` from a :func:`result_payload` dict.
+
+    ``path`` is used only for error messages; decode failures raise
+    :class:`SerializationError` naming it.
+    """
     try:
         timings = payload["timings"]
         return SBPResult(
@@ -227,21 +241,19 @@ def load_result(path: str | os.PathLike[str]) -> SBPResult:
     """Load a result saved by :func:`save_result`."""
     payload = _load_json(path, "repro.sbp_result")
     _check_version(path, payload, _RESULT_FORMAT_VERSION)
-    return _result_from_payload(path, payload)
+    return result_from_payload(path, payload)
 
 
-def save_stream_result(stream, path: str | os.PathLike[str]) -> None:
-    """Serialize a :class:`~repro.streaming.session.StreamResult` as JSON.
+def stream_payload(stream) -> dict:
+    """The version-free body of a stream-result container.
 
-    The container embeds one v7 result payload per snapshot (assignment
-    included, so any snapshot's partition can be recovered) plus the
-    stream-level decisions: warm-vs-cold counts, per-snapshot drift and
+    Embeds one v7 result payload per snapshot (assignment included, so
+    any snapshot's partition can be recovered) plus the stream-level
+    decisions: warm-vs-cold counts, per-snapshot drift and
     consecutive-snapshot NMI, and the batch sizes that produced each
     snapshot.
     """
-    payload = {
-        "format": "repro.stream_result",
-        "version": _RESULT_FORMAT_VERSION,
+    return {
         "num_snapshots": len(stream.snapshots),
         "warm_refits": stream.warm_refits,
         "cold_fits": stream.cold_fits,
@@ -253,21 +265,17 @@ def save_stream_result(stream, path: str | os.PathLike[str]) -> None:
                 "edges_added": snap.edges_added,
                 "edges_removed": snap.edges_removed,
                 "seconds": snap.seconds,
-                "result": _result_payload(snap.result),
+                "result": result_payload(snap.result),
             }
             for snap in stream.snapshots
         ],
     }
-    with atomic_write(path) as fh:
-        json.dump(payload, fh, indent=2)
 
 
-def load_stream_result(path: str | os.PathLike[str]):
-    """Load a stream result saved by :func:`save_stream_result`."""
+def stream_from_payload(path, payload: dict):
+    """Rebuild a ``StreamResult`` from a :func:`stream_payload` dict."""
     from repro.streaming.session import SnapshotReport, StreamResult
 
-    payload = _load_json(path, "repro.stream_result")
-    _check_version(path, payload, _RESULT_FORMAT_VERSION)
     try:
         snapshots = [
             SnapshotReport(
@@ -275,7 +283,7 @@ def load_stream_result(path: str | os.PathLike[str]):
                 edges_added=int(entry["edges_added"]),
                 edges_removed=int(entry["edges_removed"]),
                 seconds=float(entry["seconds"]),
-                result=_result_from_payload(path, entry["result"]),
+                result=result_from_payload(path, entry["result"]),
             )
             for entry in payload["snapshots"]
         ]
@@ -290,6 +298,27 @@ def load_stream_result(path: str | os.PathLike[str]):
         raise SerializationError(
             f"{path}: malformed stream result field ({exc!r})"
         ) from exc
+
+
+def save_stream_result(stream, path: str | os.PathLike[str]) -> None:
+    """Serialize a :class:`~repro.streaming.session.StreamResult` as JSON.
+
+    See :func:`stream_payload` for the container body.
+    """
+    payload = {
+        "format": "repro.stream_result",
+        "version": _RESULT_FORMAT_VERSION,
+        **stream_payload(stream),
+    }
+    with atomic_write(path) as fh:
+        json.dump(payload, fh, indent=2)
+
+
+def load_stream_result(path: str | os.PathLike[str]):
+    """Load a stream result saved by :func:`save_stream_result`."""
+    payload = _load_json(path, "repro.stream_result")
+    _check_version(path, payload, _RESULT_FORMAT_VERSION)
+    return stream_from_payload(path, payload)
 
 
 def save_assignment(assignment: Assignment, path: str | os.PathLike[str]) -> None:

@@ -1,0 +1,239 @@
+"""Worker pool draining the lease queue through the job engine.
+
+Each worker is a thread in a lease / heartbeat / execute / complete
+loop: it leases a job, starts a sidecar heartbeat timer (period
+``lease_ttl / 3``) so the lease survives a long MCMC run, executes the
+job through :func:`~repro.service.jobs.execute_job` — store-first, under
+the resilient backend, with a per-job checkpoint directory so a
+*re-leased* job resumes from its predecessor's last completed
+agglomerative iteration instead of restarting — and marks it DONE.
+
+Failure model (the fuzzbench trial shape):
+
+* an exception inside the job marks it ``fail`` — the queue requeues it
+  until its attempts are spent;
+* a worker that *dies* (crash, OOM, kill -9) simply stops heartbeating;
+  its lease expires and the queue hands the job to a survivor. The dead
+  worker's fencing token (its name) guarantees a zombie resurfacing
+  later cannot clobber the survivor's completion.
+
+Determinism: execution order never affects results — each job's outcome
+is a pure function of its content digest, so N workers draining a mixed
+queue produce byte-identical results to serial execution (CI-gated).
+
+Chaos hooks for tests: ``crash_plan={"w1": 1}`` makes worker ``w1``
+die (thread exits, no fail call, heartbeat stops) on its 1st leased job,
+simulating a hard kill mid-job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from pathlib import Path
+
+from repro.resilience.checkpoint import RunCheckpointer
+from repro.service.jobs import execute_job
+from repro.service.queue import LeaseQueue
+from repro.service.store import ResultStore
+from repro.utils.log import get_logger
+
+__all__ = ["Orchestrator", "run_jobs_serially"]
+
+_log = get_logger("service.orchestrator")
+
+
+class _WorkerKilled(BaseException):
+    """Simulated hard worker death (chaos hook; never caught as failure)."""
+
+
+class _Heartbeat:
+    """Sidecar timer renewing one job's lease until stopped."""
+
+    def __init__(self, queue: LeaseQueue, job_id: str, worker: str) -> None:
+        self.queue = queue
+        self.job_id = job_id
+        self.worker = worker
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{worker}", daemon=True
+        )
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        period = self.queue.lease_ttl / 3.0
+        while not self._stop.wait(period):
+            try:
+                self.queue.heartbeat(self.job_id, self.worker)
+            except Exception:
+                # Lease lost (expired + re-issued): stop renewing; the
+                # worker's complete/fail will be fenced off by the queue.
+                return
+
+
+class Orchestrator:
+    """N workers draining ``queue`` into ``store`` (see module doc).
+
+    Parameters
+    ----------
+    queue, store:
+        The lease queue to drain and the content-addressed store every
+        outcome lands in (also the cache consulted before running).
+    workers:
+        Worker thread count.
+    poll_interval:
+        Idle sleep between lease attempts when the queue is empty.
+    checkpoint_root:
+        Directory for per-job checkpoint subdirectories (keyed by
+        digest) so re-leased jobs resume; ``None`` disables resume.
+    resilient:
+        Wrap plain execution backends in ``resilient:<inner>``.
+    crash_plan:
+        Chaos hook: ``{worker_name: n}`` kills that worker on its n-th
+        leased job *before* completion (tests only).
+    """
+
+    def __init__(
+        self,
+        queue: LeaseQueue,
+        store: ResultStore,
+        workers: int = 2,
+        *,
+        poll_interval: float = 0.05,
+        checkpoint_root: str | Path | None = None,
+        resilient: bool = True,
+        crash_plan: dict[str, int] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.queue = queue
+        self.store = store
+        self.num_workers = int(workers)
+        self.poll_interval = float(poll_interval)
+        self.checkpoint_root = (
+            Path(checkpoint_root) if checkpoint_root is not None else None
+        )
+        self.resilient = resilient
+        self.crash_plan = dict(crash_plan or {})
+        self._threads: list[threading.Thread] = []
+        self._shutdown = threading.Event()
+        self._drain_only = threading.Event()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        self._shutdown.clear()
+        for index in range(self.num_workers):
+            name = f"worker-{index}"
+            thread = threading.Thread(
+                target=self._worker_loop, args=(name,), name=name, daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until the queue is drained (no pending/leased jobs).
+
+        Returns False on timeout. Workers keep running afterwards;
+        call :meth:`stop` to reap them.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.queue.drained():
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(self.poll_interval)
+        return True
+
+    def run_until_drained(self, timeout: float | None = None) -> bool:
+        """Start, drain, stop — the one-shot batch entry point."""
+        self.start()
+        try:
+            return self.drain(timeout)
+        finally:
+            self.stop()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal shutdown and join the worker threads."""
+        self._shutdown.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+
+    # ------------------------------------------------------------------
+    def _checkpointer(self, job_id: str) -> RunCheckpointer | None:
+        if self.checkpoint_root is None:
+            return None
+        return RunCheckpointer(self.checkpoint_root / job_id)
+
+    def _worker_loop(self, name: str) -> None:
+        leased = 0
+        while not self._shutdown.is_set():
+            job = self.queue.lease(name)
+            if job is None:
+                self._shutdown.wait(self.poll_interval)
+                continue
+            leased += 1
+            try:
+                self._execute_one(name, job, leased)
+            except _WorkerKilled:
+                _log.info("worker %s killed by crash plan (job %s)",
+                          name, job.job_id[:12])
+                return  # hard death: no fail(), no further leases
+            except Exception:  # pragma: no cover - defensive
+                _log.warning("worker %s crashed outside the job guard:\n%s",
+                             name, traceback.format_exc())
+                return
+
+    def _execute_one(self, name: str, job, leased: int) -> None:
+        with _Heartbeat(self.queue, job.job_id, name):
+            if self.crash_plan.get(name) == leased:
+                raise _WorkerKilled(name)
+            try:
+                outcome = execute_job(
+                    job.spec,
+                    store=self.store,
+                    checkpointer=self._checkpointer(job.job_id),
+                    resilient=self.resilient,
+                )
+            except Exception as exc:
+                _log.warning("job %s failed on %s: %s",
+                             job.job_id[:12], name, exc)
+                self._try(self.queue.fail, job.job_id, name, repr(exc))
+                return
+        if outcome.interrupted:
+            # Best-so-far results are not completions: requeue so a rerun
+            # (resuming from the checkpoint) finishes the search.
+            self._try(self.queue.fail, job.job_id, name,
+                      "interrupted (best-so-far); requeued to finish")
+            return
+        self._try(self.queue.complete, job.job_id, name)
+
+    @staticmethod
+    def _try(op, *args) -> None:
+        """Lease-fenced queue call; losing the race is not an error."""
+        try:
+            op(*args)
+        except Exception as exc:
+            _log.info("queue op %s fenced off: %s", op.__name__, exc)
+
+
+def run_jobs_serially(specs, store: ResultStore | None = None):
+    """Reference executor: the same jobs, one at a time, no queue.
+
+    Exists for the orchestrator equivalence gates (and as the simplest
+    possible client of the job engine).
+    """
+    return [execute_job(spec, store=store) for spec in specs]

@@ -181,3 +181,51 @@ class TestGroupedBars:
         rows = [{"graph": "g", "a": 5.0}]
         text = format_grouped_bars(rows, "graph", ["a"], bar_width=10, vmax=1.0)
         assert text.splitlines()[1].count("#") == 10
+
+
+class TestDisplayNames:
+    def test_every_registered_variant_has_a_display_name(self):
+        from repro.bench.harness import _display_name
+        from repro.mcmc.engine import available_variants
+
+        for variant in available_variants():
+            name = _display_name(variant)
+            assert name  # never empty
+            # Registered variants render a styled label, not the raw key.
+            assert name != variant or variant.isupper()
+
+    def test_tiered_display_name(self):
+        from repro.bench.harness import _display_name
+
+        assert _display_name("tiered") == "Tiered-SBP"
+        assert _display_name("b-sbp") == "B-SBP"
+        assert _display_name("unregistered-thing") == "unregistered-thing"
+
+
+class TestSuiteStore:
+    def test_rebench_hits_store(self):
+        import numpy as np
+
+        from repro.service.store import MemoryResultStore
+
+        graph, truth = generate_dcsbm(
+            DCSBMParams(num_vertices=60, num_communities=3,
+                        within_between_ratio=8.0, mean_degree=7.0),
+            seed=3,
+        )
+        config = SBPConfig(max_sweeps=8)
+        store = MemoryResultStore()
+        first = run_variant_suite(
+            "toy", graph, [Variant.SBP], runs=1, seed=4, config=config,
+            store=store,
+        )
+        again = run_variant_suite(
+            "toy", graph, [Variant.SBP], runs=1, seed=4, config=config,
+            store=store,
+        )
+        assert store.stats.hits == 1 and store.stats.puts == 1
+        a, b = first["sbp"], again["sbp"]
+        assert a.best.mdl == b.best.mdl
+        assert np.array_equal(a.best.assignment, b.best.assignment)
+        # Cached rows report the original run's clock, bit-identically.
+        assert a.total_mcmc_seconds == b.total_mcmc_seconds

@@ -101,6 +101,17 @@ class TestInfo:
         out = capsys.readouterr().out
         assert "V" in out and "90" in out
 
+    def test_prints_content_digest(self, graph_file, capsys):
+        from repro.graph.io import read_edge_list
+
+        graph_path, _ = graph_file
+        assert main(["info", str(graph_path)]) == 0
+        out = capsys.readouterr().out
+        digest_lines = [l for l in out.splitlines() if l.startswith("digest")]
+        assert len(digest_lines) == 1
+        # The printed address is the graph's actual content digest.
+        assert read_edge_list(graph_path).digest() in digest_lines[0]
+
 
 @pytest.mark.slow
 class TestDetectAndCompare:

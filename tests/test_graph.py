@@ -127,3 +127,33 @@ class TestDerivedGraphs:
         und = tiny_graph.to_undirected_edges()
         assert (und[:, 0] <= und[:, 1]).all()
         assert und.shape == tiny_graph.edges.shape
+
+
+class TestDigest:
+    def test_digest_is_stable_and_hex(self, tiny_graph):
+        d = tiny_graph.digest()
+        assert d == tiny_graph.digest()
+        assert len(d) == 64
+        int(d, 16)  # valid hex
+
+    def test_digest_invariant_under_edge_order(self):
+        edges = np.array([[0, 1], [2, 3], [1, 2], [3, 0], [0, 1]])
+        shuffled = edges[[4, 2, 0, 3, 1]]
+        assert Graph(4, edges).digest() == Graph(4, shuffled).digest()
+
+    def test_digest_covers_isolated_vertices(self):
+        edges = np.array([[0, 1], [1, 2]])
+        # Same edge multiset, one extra degree-0 vertex: different graphs,
+        # different addresses.
+        assert Graph(3, edges).digest() != Graph(4, edges).digest()
+
+    def test_digest_distinguishes_edge_content(self):
+        assert (
+            Graph(3, np.array([[0, 1]])).digest()
+            != Graph(3, np.array([[0, 2]])).digest()
+        )
+
+    def test_digest_counts_multiplicity(self):
+        once = Graph(3, np.array([[0, 1], [1, 2]]))
+        twice = Graph(3, np.array([[0, 1], [0, 1], [1, 2]]))
+        assert once.digest() != twice.digest()

@@ -394,6 +394,22 @@ class TestComposition:
         assert np.array_equal(local.assignment, dist.assignment)
         assert local.mdl == dist.mdl
 
+    def test_rate_030_matches_on_distributed_backend(self):
+        # The CLI composition `--sample-rate 0.3 --backend
+        # distributed:inproc:2`: a small sample leaves most vertices to
+        # the extension pass, which must still shard bit-identically.
+        graph, _ = _planted(num_vertices=120, seed=6)
+        local = run_sbp(graph, SBPConfig(
+            variant="a-sbp", seed=9, sample_rate=0.3, backend="vectorized",
+        ))
+        dist = run_sbp(graph, SBPConfig(
+            variant="a-sbp", seed=9, sample_rate=0.3,
+            backend="distributed:inproc:2",
+        ))
+        assert np.array_equal(local.assignment, dist.assignment)
+        assert local.mdl == dist.mdl
+        assert local.sample_rate == dist.sample_rate == 0.3
+
     def test_sampled_checkpoint_resume_is_bit_identical(self, tmp_path):
         graph, _ = _planted(num_vertices=120, seed=6)
         config = SBPConfig(variant="a-sbp", seed=4, sample_rate=0.5)
